@@ -1,0 +1,146 @@
+(* Benchmark harness.
+
+   Two jobs, per the reproduction contract:
+
+   1. Regenerate every table/figure of the paper (Figure 1(a), Figure
+      1(b)) plus the lemma-level, sampler-property and ablation tables -
+      the experiment modules in [fba_harness] print the same rows the
+      paper reports, with measured values.
+   2. A Bechamel micro-benchmark suite (one [Test.make] per reproduced
+      artifact) measuring the wall-clock cost of the protocol runs that
+      feed those tables, so performance regressions in the simulator
+      itself are visible.
+
+   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all] [--full] *)
+
+open Bechamel
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+
+(* --- Bechamel suite: one test per table/figure we regenerate. --- *)
+
+let bench_aer_sync () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:128 ~seed:1L in
+  ignore (Runner.run_aer_sync ~adversary:Attacks.silent sc)
+
+let bench_aer_cornering () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:128 ~seed:1L in
+  ignore (Runner.run_aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc)
+
+let bench_aer_async () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:96 ~seed:1L in
+  ignore (Runner.run_aer_async ~adversary:(fun sc -> Attacks.async_cornering sc) sc)
+
+let bench_grid () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:1024 ~seed:1L in
+  ignore (Runner.run_grid sc)
+
+let bench_ba () = ignore (Fba_core.Ba.run_sync ~n:128 ~seed:1L ~byzantine_fraction:0.1 ())
+
+let bench_common_coin () =
+  let module RBA = Fba_baselines.Randomized_ba in
+  let module E = Fba_sim.Sync_engine.Make (RBA) in
+  let n = 128 in
+  let cfg =
+    RBA.make_config ~n ~t_assumed:20 ~coin:(`Common 7L) ~inputs:(fun i -> i mod 2 = 0) ()
+  in
+  ignore
+    (E.run ~config:cfg ~n ~seed:1L
+       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:(Fba_stdx.Bitset.create n))
+       ~mode:`Rushing ~max_rounds:(RBA.max_engine_rounds cfg) ())
+
+let bench_sampler_quorum =
+  let sampler = Fba_samplers.Sampler.create ~seed:1L ~n:1024 ~d:20 in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore (Fba_samplers.Sampler.quorum_sx sampler ~s:"bench" ~x:(!i land 1023))
+
+let bench_boundary () =
+  let sampler = Fba_samplers.Sampler.create ~seed:1L ~n:512 ~d:18 in
+  let rng = Fba_stdx.Prng.create 3L in
+  ignore
+    (Fba_samplers.Digraph.boundary_ratio sampler
+       (Fba_samplers.Digraph.random_l sampler ~rng ~size:56))
+
+let perf_tests =
+  [
+    ("fig1a/aer-sync-n128", bench_aer_sync);
+    ("fig1a/aer-cornering-n128", bench_aer_cornering);
+    ("fig1a/grid-n1024", bench_grid);
+    ("lemmas/aer-async-n96", bench_aer_async);
+    ("fig1b/ba-composition-n128", bench_ba);
+    ("fig1b/common-coin-n128", bench_common_coin);
+    ("samplers/quorum-eval", bench_sampler_quorum);
+    ("samplers/boundary-n512", bench_boundary);
+  ]
+
+let run_perf () =
+  print_endline "## Simulator micro-benchmarks (bechamel, monotonic clock)\n";
+  let tests =
+    Test.make_grouped ~name:"fba"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) perf_tests)
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 2.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let tbl =
+    Fba_stdx.Table.create
+      ~columns:[ ("benchmark", Fba_stdx.Table.Left); ("time/run", Fba_stdx.Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let cell =
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) ->
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | _ -> "n/a"
+      in
+      Fba_stdx.Table.add_row tbl [ name; cell ])
+    (List.sort compare rows);
+  Fba_stdx.Table.print tbl;
+  print_newline ()
+
+(* --- Entry point --- *)
+
+let experiments =
+  [
+    ("fig1a", Fba_harness.Exp_fig1a.run);
+    ("fig1b", Fba_harness.Exp_fig1b.run);
+    ("lemmas", Fba_harness.Exp_lemmas.run);
+    ("samplers", Fba_harness.Exp_samplers.run);
+    ("ablation", Fba_harness.Exp_ablation.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let which = List.filter (fun a -> a <> "--full") args in
+  let which = if which = [] then [ "all" ] else which in
+  let run_one name =
+    match List.assoc_opt name experiments with
+    | Some f ->
+      f ?full:(Some full) ~out:stdout ();
+      flush stdout
+    | None when name = "perf" -> run_perf ()
+    | None when name = "all" ->
+      List.iter
+        (fun (_, f) ->
+          f ?full:(Some full) ~out:stdout ();
+          flush stdout)
+        experiments;
+      run_perf ()
+    | None ->
+      Printf.eprintf
+        "unknown benchmark %S (expected fig1a|fig1b|lemmas|samplers|ablation|perf|all)\n" name;
+      exit 2
+  in
+  Printf.printf "# Fast Byzantine Agreement (PODC 2013) - table regeneration%s\n\n"
+    (if full then " (full grids)" else " (quick grids; pass --full for larger sizes)");
+  List.iter run_one which

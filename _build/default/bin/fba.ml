@@ -1,0 +1,185 @@
+(* Command-line front-end: run individual protocols or regenerate the
+   paper's tables. `fba experiment all` reproduces everything. *)
+
+open Cmdliner
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+
+let n_arg =
+  Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"System size (number of nodes).")
+
+let byz_arg =
+  Arg.(
+    value
+    & opt float 0.10
+    & info [ "byzantine" ] ~docv:"FRACTION" ~doc:"Byzantine fraction, below 1/3.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Larger size grids and more seeds (slower).")
+
+(* --- fba run-aer --- *)
+
+let attack_arg =
+  let attacks =
+    [ ("silent", `Silent); ("flood", `Flood); ("cornering", `Cornering); ("capture", `Capture) ]
+  in
+  Arg.(
+    value
+    & opt (enum attacks) `Silent
+    & info [ "attack" ] ~docv:"ATTACK" ~doc:"Adversary strategy: $(docv).")
+
+let mode_arg =
+  let modes = [ ("rushing", `Rushing); ("non-rushing", `Non_rushing); ("async", `Async) ] in
+  Arg.(
+    value
+    & opt (enum modes) `Rushing
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Engine/adversary model: $(docv).")
+
+let know_arg =
+  Arg.(
+    value
+    & opt float 0.85
+    & info [ "knowledgeable" ] ~docv:"FRACTION"
+        ~doc:"Fraction of nodes that are correct and know gstring initially (above 1/2).")
+
+let run_aer n byz know seed attack mode =
+  let setup =
+    { Runner.default_setup with
+      Runner.byzantine_fraction = byz;
+      knowledgeable_fraction = know }
+  in
+  let sc = Runner.scenario_of_setup setup ~n ~seed:(Int64.of_int seed) in
+  let sync_attack sc =
+    match attack with
+    | `Silent -> Attacks.silent sc
+    | `Flood -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ])
+    | `Cornering -> Attacks.cornering sc
+    | `Capture -> Attacks.quorum_capture sc
+  in
+  let obs, norm =
+    match mode with
+    | `Async ->
+      let adversary sc =
+        match attack with
+        | `Cornering -> Attacks.async_cornering sc
+        | _ -> Attacks.async_of_sync sc (sync_attack sc)
+      in
+      let r, norm = Runner.run_aer_async ~adversary sc in
+      (r.Runner.obs, Some norm)
+    | (`Rushing | `Non_rushing) as m ->
+      ((Runner.run_aer_sync ~mode:m ~adversary:sync_attack sc).Runner.obs, None)
+  in
+  Format.printf "AER n=%d byzantine=%.2f knowledgeable=%.2f@." n byz know;
+  Format.printf "  rounds: %d%s@." obs.Fba_harness.Obs.rounds
+    (match norm with Some x -> Printf.sprintf " (normalized %.1f)" x | None -> "");
+  Format.printf "  decided: %.3f  agreed on gstring: %.3f  wrong: %d@."
+    obs.Fba_harness.Obs.decided_fraction obs.Fba_harness.Obs.agreed_fraction
+    obs.Fba_harness.Obs.wrong_decisions;
+  Format.printf "  bits/node: %.0f  max node sent: %d bits  imbalance: %.2fx@."
+    obs.Fba_harness.Obs.bits_per_node obs.Fba_harness.Obs.max_sent_bits
+    obs.Fba_harness.Obs.load_imbalance;
+  if obs.Fba_harness.Obs.agreed_fraction >= 1.0 then 0 else 1
+
+let run_aer_cmd =
+  let doc = "Run the AER almost-everywhere→everywhere protocol once." in
+  Cmd.v
+    (Cmd.info "run-aer" ~doc)
+    Term.(const run_aer $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg)
+
+(* --- fba run-ba --- *)
+
+let run_ba n byz seed =
+  let r = Fba_core.Ba.run_sync ~n ~seed:(Int64.of_int seed) ~byzantine_fraction:byz () in
+  Format.printf "BA (aeba + AER) n=%d byzantine=%.2f@." n byz;
+  Format.printf "  almost-everywhere fraction after phase 1: %.3f@." r.Fba_core.Ba.ae_fraction;
+  Format.printf "  agreed: %d/%d correct nodes  rounds: %d  bits/node: %.0f@."
+    r.Fba_core.Ba.agreed r.Fba_core.Ba.correct
+    (Fba_sim.Metrics.rounds r.Fba_core.Ba.metrics)
+    (Fba_sim.Metrics.amortized_bits r.Fba_core.Ba.metrics);
+  (match r.Fba_core.Ba.gstring with
+  | Some g ->
+    Format.printf "  gstring (%d bits): " (8 * String.length g);
+    String.iter (fun c -> Format.printf "%02x" (Char.code c)) g;
+    Format.printf "@."
+  | None -> Format.printf "  phase 1 failed to converge@.");
+  if r.Fba_core.Ba.agreed = r.Fba_core.Ba.correct then 0 else 1
+
+let run_ba_cmd =
+  let doc = "Run the full Byzantine Agreement composition (aeba + AER)." in
+  Cmd.v (Cmd.info "run-ba" ~doc) Term.(const run_ba $ n_arg $ byz_arg $ seed_arg)
+
+(* --- fba trace --- *)
+
+let run_trace n byz know seed attack =
+  let module Traced = Fba_sim.Trace.Traced (Fba_core.Aer) in
+  let module Engine = Fba_sim.Sync_engine.Make (Traced) in
+  let setup =
+    { Runner.default_setup with
+      Runner.byzantine_fraction = byz;
+      knowledgeable_fraction = know }
+  in
+  let sc = Runner.scenario_of_setup setup ~n ~seed:(Int64.of_int seed) in
+  let trace = Fba_sim.Trace.create () in
+  let adversary =
+    match attack with
+    | `Silent -> Attacks.silent sc
+    | `Flood -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ])
+    | `Cornering -> Attacks.cornering sc
+    | `Capture -> Attacks.quorum_capture sc
+  in
+  let res =
+    Engine.run
+      ~config:(Fba_core.Aer.config_of_scenario sc, trace)
+      ~n ~seed:(Int64.of_int seed) ~adversary ~mode:`Rushing ~max_rounds:100 ()
+  in
+  Format.printf "AER execution trace, n=%d (message deliveries per round, by kind)@.@." n;
+  print_string (Fba_sim.Trace.render trace);
+  Format.printf "@.decided: %d/%d correct nodes in %d rounds@."
+    (Fba_sim.Metrics.decided_count res.Fba_sim.Sync_engine.metrics)
+    n
+    (Fba_sim.Metrics.rounds res.Fba_sim.Sync_engine.metrics);
+  0
+
+let trace_cmd =
+  let doc = "Print the per-round message-kind trace of one AER execution." in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg)
+
+(* --- fba experiment --- *)
+
+let experiments =
+  [
+    ("fig1a", Fba_harness.Exp_fig1a.run);
+    ("fig1b", Fba_harness.Exp_fig1b.run);
+    ("lemmas", Fba_harness.Exp_lemmas.run);
+    ("samplers", Fba_harness.Exp_samplers.run);
+    ("ablation", Fba_harness.Exp_ablation.run);
+  ]
+
+let exp_arg =
+  let choices = ("all", None) :: List.map (fun (k, f) -> (k, Some f)) experiments in
+  Arg.(
+    required
+    & pos 0 (some (enum choices)) None
+    & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, all.")
+
+let run_experiment which full =
+  (match which with
+  | Some f -> f ?full:(Some full) ~out:stdout ()
+  | None -> List.iter (fun (_, f) -> f ?full:(Some full) ~out:stdout ()) experiments);
+  0
+
+let experiment_cmd =
+  let doc = "Regenerate the paper's tables and lemma-level checks." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ exp_arg $ full_arg)
+
+let main_cmd =
+  let doc = "Fast Byzantine Agreement (Braud-Santoni, Guerraoui, Huc; PODC 2013) — simulator" in
+  Cmd.group (Cmd.info "fba" ~version:"1.0.0" ~doc)
+    [ run_aer_cmd; run_ba_cmd; trace_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/binary_agreement.ml: Fba_core Fba_harness Fba_sim Printf

@@ -1,0 +1,1 @@
+examples/committee_randomness.ml: Array Bitset Char Fba_aeba Fba_sim Fba_stdx Printf Prng String

@@ -1,0 +1,1 @@
+examples/flood_defense.ml: Fba_adversary Fba_core Fba_harness Printf

@@ -1,0 +1,1 @@
+examples/flood_defense.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char Fba_core Fba_sim Printf String

@@ -1,0 +1,1 @@
+examples/rushing_vs_async.ml: Fba_adversary Fba_core Fba_harness Params Printf Scenario

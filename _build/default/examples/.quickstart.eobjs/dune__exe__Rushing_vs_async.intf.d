@@ -1,0 +1,1 @@
+examples/rushing_vs_async.mli:

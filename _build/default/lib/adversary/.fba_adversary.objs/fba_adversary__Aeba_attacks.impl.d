@@ -1,0 +1,1 @@
+lib/adversary/aeba_attacks.ml: Aeba Array Bitset Committee_tree Fba_aeba Fba_sim Fba_stdx List Printf String

@@ -1,0 +1,1 @@
+lib/adversary/aeba_attacks.mli: Aeba Fba_aeba Fba_sim Fba_stdx

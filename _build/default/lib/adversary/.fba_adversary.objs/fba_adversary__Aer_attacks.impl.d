@@ -1,0 +1,1 @@
+lib/adversary/aer_attacks.ml: Array Bitset Bytes Fba_core Fba_samplers Fba_sim Fba_stdx Hash64 Hashtbl List Msg Option Params Prng Scenario Schedulers

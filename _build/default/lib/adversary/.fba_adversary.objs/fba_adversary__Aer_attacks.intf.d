@@ -1,0 +1,1 @@
+lib/adversary/aer_attacks.mli: Fba_core Fba_sim Msg Scenario

@@ -1,0 +1,1 @@
+lib/adversary/corruption.ml: Array Bitset Fba_samplers Fba_stdx List Prng

@@ -1,0 +1,1 @@
+lib/adversary/corruption.mli: Bitset Fba_samplers Fba_stdx Prng

@@ -1,0 +1,1 @@
+lib/adversary/schedulers.ml: Bitset Envelope Fba_sim Fba_stdx Hash64

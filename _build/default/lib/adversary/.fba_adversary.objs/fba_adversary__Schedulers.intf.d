@@ -1,0 +1,1 @@
+lib/adversary/schedulers.mli: Envelope Fba_sim Fba_stdx

@@ -1,0 +1,75 @@
+open Fba_stdx
+open Fba_aeba
+module Envelope = Fba_sim.Envelope
+
+type sync = Aeba.msg Fba_sim.Sync_engine.adversary
+
+let silent ~corrupted = Fba_sim.Sync_engine.null_adversary ~corrupted
+
+let corrupted_members tree ~corrupted ~level ~index =
+  Array.to_list (Committee_tree.committee tree ~level ~index)
+  |> List.filter (Bitset.mem corrupted)
+
+let biased_contribution cfg ~corrupted =
+  let tree = Aeba.config_tree cfg in
+  let slice_bytes = Aeba.config_gstring_bits cfg / 8 / Array.length (Committee_tree.root tree) in
+  let act ~round ~observed:_ =
+    if round <> 0 then []
+    else begin
+      let root = Committee_tree.root tree in
+      let zeros = String.make (max 1 slice_bytes) '\000' in
+      let outs = ref [] in
+      Array.iteri
+        (fun slot y ->
+          if Bitset.mem corrupted y then
+            Array.iter
+              (fun dst ->
+                outs := Envelope.make ~src:y ~dst (Aeba.Contrib { slot; v = zeros }) :: !outs)
+              root)
+        root;
+      !outs
+    end
+  in
+  { Fba_sim.Sync_engine.corrupted; act }
+
+let equivocating_relay cfg ~corrupted =
+  let tree = Aeba.config_tree cfg in
+  (* Reconstruct the dissemination schedule: committees at level l send
+     at t_pk_end + 2l; we recover t_pk_end from the config's round
+     budget. *)
+  let total = Aeba.total_rounds cfg in
+  let levels = Committee_tree.levels tree in
+  let t_pk_end = total - (2 * levels) - 2 in
+  let junk level index j = Printf.sprintf "equivocation-%d-%d-%d" level index j in
+  let act ~round ~observed:_ =
+    let outs = ref [] in
+    for level = 0 to levels do
+      if round = t_pk_end + (2 * level) then
+        for index = 0 to (1 lsl level) - 1 do
+          let byz = corrupted_members tree ~corrupted ~level ~index in
+          List.iter
+            (fun y ->
+              if level < levels then
+                List.iter
+                  (fun (cl, ci) ->
+                    Array.iteri
+                      (fun j dst ->
+                        outs :=
+                          Envelope.make ~src:y ~dst
+                            (Aeba.Relay { level = cl; index = ci; v = junk cl ci j })
+                          :: !outs)
+                      (Committee_tree.committee tree ~level:cl ~index:ci))
+                  (Committee_tree.children tree ~level ~index)
+              else
+                Array.iteri
+                  (fun j dst ->
+                    outs :=
+                      Envelope.make ~src:y ~dst (Aeba.Inform { v = junk level index j })
+                      :: !outs)
+                  (Committee_tree.group_members tree index))
+            byz
+        done
+    done;
+    !outs
+  in
+  { Fba_sim.Sync_engine.corrupted; act }

@@ -1,0 +1,29 @@
+(** Byzantine strategies against the almost-everywhere agreement
+    substrate.
+
+    The committee machinery is majority-filtered at every hop, so the
+    adversary's levers are: biasing its gstring contributions (it
+    controls its own slices — the paper's "2/3+ε of the bits uniformly
+    random" precondition concedes exactly this), equivocating during
+    phase king (exercised by {!Fba_aeba.Phase_king} tests directly),
+    and equivocating during dissemination — corrupted committee members
+    relaying different strings to different children, trying to grow
+    the non-agreeing fraction. *)
+
+open Fba_aeba
+
+type sync = Aeba.msg Fba_sim.Sync_engine.adversary
+
+val silent : corrupted:Fba_stdx.Bitset.t -> sync
+
+val biased_contribution : Aeba.config -> corrupted:Fba_stdx.Bitset.t -> sync
+(** Corrupted root members contribute all-zero slices (maximal bias of
+    their share of gstring) instead of staying silent. Agreement must
+    still hold; the all-zero slices are the visible fingerprint. *)
+
+val equivocating_relay : Aeba.config -> corrupted:Fba_stdx.Bitset.t -> sync
+(** Corrupted members of every committee relay per-recipient junk
+    strings down the tree (and junk Informs to their groups) at the
+    scheduled dissemination rounds. A child accepts the plurality of
+    its parent committee, so this only wins where the adversary holds
+    a committee majority — the measured almost-everywhere gap. *)

@@ -1,0 +1,267 @@
+open Fba_stdx
+open Fba_core
+module Envelope = Fba_sim.Envelope
+module Cache = Fba_samplers.Cache
+module Push_plan = Fba_samplers.Push_plan
+
+type sync = Msg.t Fba_sim.Sync_engine.adversary
+type async = Msg.t Fba_sim.Async_engine.adversary
+
+let adversary_rng (sc : Scenario.t) tag =
+  let params = sc.Scenario.params in
+  Prng.create
+    (Hash64.finish (Hash64.add_string (Hash64.init params.Params.seed) ("adversary:" ^ tag)))
+
+let random_string rng bits = Bytes.unsafe_to_string (Prng.bits rng bits)
+
+let byzantine_ids (sc : Scenario.t) = Array.of_list (Bitset.to_list sc.Scenario.corrupted)
+
+let silent (sc : Scenario.t) =
+  Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
+
+let compose (sc : Scenario.t) (attacks : sync list) =
+  let corrupted = sc.Scenario.corrupted in
+  List.iter
+    (fun (a : sync) ->
+      if a.Fba_sim.Sync_engine.corrupted != corrupted then
+        invalid_arg "Aer_attacks.compose: attacks built from different scenarios")
+    attacks;
+  {
+    Fba_sim.Sync_engine.corrupted;
+    act =
+      (fun ~round ~observed ->
+        List.concat_map
+          (fun (a : sync) -> a.Fba_sim.Sync_engine.act ~round ~observed)
+          attacks);
+  }
+
+let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
+  if fake_strings < 1 then invalid_arg "Aer_attacks.push_flood: fake_strings < 1";
+  let params = sc.Scenario.params in
+  let rng = adversary_rng sc "push_flood" in
+  let fakes = Array.init fake_strings (fun _ -> random_string rng params.Params.gstring_bits) in
+  let plan = Push_plan.create ~sampler:(Params.sampler_i params) in
+  let byz = byzantine_ids sc in
+  let act ~round ~observed:_ =
+    if round <> 0 then []
+    else begin
+      let outs = ref [] in
+      Array.iter
+        (fun s ->
+          let msg = Msg.Push s in
+          Array.iter
+            (fun y ->
+              if blast then
+                for x = 0 to params.Params.n - 1 do
+                  outs := Envelope.make ~src:y ~dst:x msg :: !outs
+                done
+              else
+                Array.iter
+                  (fun x -> outs := Envelope.make ~src:y ~dst:x msg :: !outs)
+                  (Push_plan.targets plan ~s ~y))
+            byz)
+        fakes;
+      !outs
+    end
+  in
+  { Fba_sim.Sync_engine.corrupted = sc.Scenario.corrupted; act }
+
+let wrong_answer (sc : Scenario.t) =
+  let gstring = sc.Scenario.gstring in
+  let corrupted = sc.Scenario.corrupted in
+  let replied : (int * int * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let act ~round:_ ~observed =
+    List.filter_map
+      (fun (e : Msg.t Envelope.t) ->
+        match e.Envelope.msg with
+        | Msg.Poll { s; _ }
+          when s <> gstring
+               && Bitset.mem corrupted e.dst
+               && (not (Bitset.mem corrupted e.src))
+               && not (Hashtbl.mem replied (e.dst, e.src, s)) ->
+          Hashtbl.add replied (e.dst, e.src, s) ();
+          Some (Envelope.make ~src:e.dst ~dst:e.src (Msg.Answer s))
+        | _ -> None)
+      observed
+  in
+  { Fba_sim.Sync_engine.corrupted; act }
+
+(* The cornering plan: spend one protocol-legitimate pull request per
+   corrupted node, with a label searched so its poll list hits the
+   chosen victims, exhausting their Algorithm-3 answer filter. Returns
+   the envelopes to inject. *)
+let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
+  let params = sc.Scenario.params in
+  let gstring = sc.Scenario.gstring in
+  let corrupted = sc.Scenario.corrupted in
+  let qh = Cache.create (Params.sampler_h params) in
+  let qj = Cache.create (Params.sampler_j params) in
+  let rng = adversary_rng sc "cornering" in
+  (* Rank poll-list members of the observed honest gstring polls. *)
+  let freq : (int, int) Hashtbl.t = Hashtbl.create 97 in
+  List.iter
+    (fun (e : Msg.t Envelope.t) ->
+      match e.Envelope.msg with
+      | Msg.Poll { s; _ }
+        when s = gstring
+             && (not (Bitset.mem corrupted e.src))
+             && not (Bitset.mem corrupted e.dst) ->
+        Hashtbl.replace freq e.dst (1 + Option.value ~default:0 (Hashtbl.find_opt freq e.dst))
+      | _ -> ())
+    observed;
+  let byz = byzantine_ids sc in
+  let cap = params.Params.pull_filter in
+  let budget = Array.length byz * params.Params.d_j in
+  (* A node already due to answer [freq] honest polls only needs
+     [cap + 1 − freq] adversarial answer-triggers before the filter
+     trips on the remaining honest ones, so the most-polled nodes are
+     the cheapest victims. Spend the budget greedily on them. *)
+  let ranked =
+    List.sort
+      (fun (_, c1) (_, c2) -> compare c2 c1)
+      (Hashtbl.fold (fun w c acc -> (w, c) :: acc) freq [])
+  in
+  let need : (int, int ref) Hashtbl.t = Hashtbl.create 97 in
+  let remaining = ref budget in
+  List.iter
+    (fun (w, f) ->
+      let cost = max 1 (cap + 1 - f) in
+      if !remaining >= cost then begin
+        remaining := !remaining - cost;
+        Hashtbl.add need w (ref cost)
+      end)
+    ranked;
+  (* One searched pull request per corrupted node. *)
+  let outs = ref [] in
+  Array.iter
+    (fun a ->
+      let score r =
+        Array.fold_left
+          (fun acc w ->
+            match Hashtbl.find_opt need w with
+            | Some n when !n > 0 -> acc + 1
+            | _ -> acc)
+          0
+          (Cache.quorum_xr qj ~x:a ~r)
+      in
+      let best_r = ref (Prng.int64 rng) in
+      let best_score = ref (score !best_r) in
+      for _ = 2 to labels_per_search do
+        let r = Prng.int64 rng in
+        let sc' = score r in
+        if sc' > !best_score then begin
+          best_score := sc';
+          best_r := r
+        end
+      done;
+      let r = !best_r in
+      let poll_list = Cache.quorum_xr qj ~x:a ~r in
+      Array.iter
+        (fun w ->
+          (match Hashtbl.find_opt need w with Some n when !n > 0 -> decr n | _ -> ());
+          outs := Envelope.make ~src:a ~dst:w (Msg.Poll { s = gstring; r }) :: !outs)
+        poll_list;
+      Array.iter
+        (fun y -> outs := Envelope.make ~src:a ~dst:y (Msg.Pull { s = gstring; r }) :: !outs)
+        (Cache.quorum_sx qh ~s:gstring ~x:a))
+    byz;
+  !outs
+
+let cornering ?(labels_per_search = 64) (sc : Scenario.t) =
+  let fired = ref false in
+  let act ~round ~observed =
+    if round = 0 && not !fired then begin
+      fired := true;
+      cornering_plan ~labels_per_search sc observed
+    end
+    else []
+  in
+  { Fba_sim.Sync_engine.corrupted = sc.Scenario.corrupted; act }
+
+let quorum_capture ?(victims = 4) ?strings_per_victim ?(max_tries = 400) (sc : Scenario.t) =
+  let params = sc.Scenario.params in
+  let n = params.Params.n in
+  let corrupted = sc.Scenario.corrupted in
+  let qi = Cache.create (Params.sampler_i params) in
+  let rng = adversary_rng sc "quorum_capture" in
+  let strings_per_victim =
+    match strings_per_victim with Some k -> k | None -> max 4 (n / 8)
+  in
+  let maj = Params.majority_i params in
+  (* Victims: the first correct identities (the choice is arbitrary —
+     the point is concentration). *)
+  let victim_list =
+    let acc = ref [] and i = ref 0 in
+    while List.length !acc < victims && !i < n do
+      if not (Bitset.mem corrupted !i) then acc := !i :: !acc;
+      incr i
+    done;
+    List.rev !acc
+  in
+  let fired = ref false in
+  let act ~round ~observed:_ =
+    if round <> 0 || !fired then []
+    else begin
+      fired := true;
+      let outs = ref [] in
+      List.iter
+        (fun v ->
+          let planted = ref 0 and tries = ref 0 in
+          while !planted < strings_per_victim && !tries < max_tries * strings_per_victim do
+            incr tries;
+            let s = random_string rng params.Params.gstring_bits in
+            let quorum = Cache.quorum_sx qi ~s ~x:v in
+            let byz_members = Array.of_list (List.filter (Bitset.mem corrupted) (Array.to_list quorum)) in
+            if Array.length byz_members >= maj then begin
+              incr planted;
+              Array.iter
+                (fun y -> outs := Envelope.make ~src:y ~dst:v (Msg.Push s) :: !outs)
+                byz_members
+            end
+          done)
+        victim_list;
+      !outs
+    end
+  in
+  { Fba_sim.Sync_engine.corrupted; act }
+
+let async_silent (sc : Scenario.t) =
+  Fba_sim.Async_engine.null_adversary ~corrupted:sc.Scenario.corrupted
+
+let async_of_sync ?(max_delay = 4) (sc : Scenario.t) (attack : sync) =
+  if max_delay < 1 then invalid_arg "Aer_attacks.async_of_sync: max_delay < 1";
+  let corrupted = sc.Scenario.corrupted in
+  let window : Msg.t Envelope.t list ref = ref [] in
+  let observe ~time:_ envs = window := List.rev_append envs !window in
+  let inject ~time =
+    if time mod max_delay = 0 then begin
+      let observed = List.rev !window in
+      window := [];
+      List.map
+        (fun e -> (e, 1))
+        (attack.Fba_sim.Sync_engine.act ~round:(time / max_delay) ~observed)
+    end
+    else []
+  in
+  {
+    Fba_sim.Async_engine.corrupted;
+    max_delay;
+    delay = Schedulers.slow_correct ~corrupted ~max_delay;
+    observe;
+    inject;
+  }
+
+let async_cornering ?(max_delay = 4) ?(labels_per_search = 64) (sc : Scenario.t) =
+  let base = async_of_sync ~max_delay sc (cornering ~labels_per_search sc) in
+  let corrupted = sc.Scenario.corrupted in
+  (* Content-inspecting schedule: traffic serving the adversary's own
+     pull chains travels at full speed, honest traffic crawls. *)
+  let delay ~time:_ (e : Msg.t Envelope.t) =
+    if Bitset.mem corrupted e.Envelope.src || Bitset.mem corrupted e.dst then 1
+    else begin
+      match e.Envelope.msg with
+      | Msg.Fw1 { x; _ } | Msg.Fw2 { x; _ } -> if Bitset.mem corrupted x then 1 else max_delay
+      | Msg.Push _ | Msg.Poll _ | Msg.Pull _ | Msg.Answer _ -> max_delay
+    end
+  in
+  { base with Fba_sim.Async_engine.delay }

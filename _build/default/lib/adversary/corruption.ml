@@ -1,0 +1,43 @@
+open Fba_stdx
+
+let random ~n ~rng ~count =
+  if count < 0 || count > n then invalid_arg "Corruption.random: count out of range";
+  Bitset.of_array n (Prng.sample_without_replacement rng ~n ~k:count)
+
+let seize_push_quorum ~sampler_i ~gstring ~victims ~n ~rng ~count =
+  if count < 0 || count > n then invalid_arg "Corruption.seize_push_quorum: count out of range";
+  let corrupted = Bitset.create n in
+  let used = ref 0 in
+  let is_victim id = List.mem id victims in
+  let corrupt id =
+    if !used < count && (not (Bitset.mem corrupted id)) && not (is_victim id) then begin
+      Bitset.add corrupted id;
+      incr used
+    end
+  in
+  List.iter
+    (fun v ->
+      let quorum = Fba_samplers.Sampler.quorum_sx sampler_i ~s:gstring ~x:v in
+      let majority = Fba_samplers.Sampler.majority_threshold (Array.length quorum) in
+      (* Corrupt a strict majority of the victim's push quorum (never a
+         victim itself: a corrupted victim proves nothing; overlapping
+         quorum members already corrupted count toward the majority). *)
+      let taken = ref 0 in
+      Array.iter
+        (fun y ->
+          if !taken < majority && y <> v then begin
+            if Bitset.mem corrupted y then incr taken
+            else begin
+              corrupt y;
+              if Bitset.mem corrupted y then incr taken
+            end
+          end)
+        quorum)
+    victims;
+  (* Spend the rest of the budget uniformly (victims excepted). *)
+  let attempts = ref 0 in
+  while !used < count && !attempts < 100 * n do
+    incr attempts;
+    corrupt (Prng.int rng n)
+  done;
+  corrupted

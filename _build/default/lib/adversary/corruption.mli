@@ -1,0 +1,30 @@
+(** Corruption-set construction, including the {e adaptive} choices the
+    paper's model rules out.
+
+    The paper (Section 2.1, after [LSP82]) assumes a non-adaptive
+    adversary: corrupt nodes are chosen before the execution — in
+    particular, independently of the public sampler seeds' interaction
+    with gstring. These helpers build corruption sets that {e violate}
+    that assumption, to measure exactly what the assumption buys: an
+    adversary that corrupts after seeing the samplers can seize the push
+    quorum I(gstring, victim) outright and deny the victim gstring
+    forever, with the same total corruption budget. *)
+
+open Fba_stdx
+
+val random : n:int -> rng:Prng.t -> count:int -> Bitset.t
+(** The paper's model: a uniformly random corruption set. *)
+
+val seize_push_quorum :
+  sampler_i:Fba_samplers.Sampler.t ->
+  gstring:string ->
+  victims:int list ->
+  n:int ->
+  rng:Prng.t ->
+  count:int ->
+  Bitset.t
+(** Adaptive: corrupt a strict majority of I(gstring, v) for each
+    victim [v] (budget permitting — a victim's quorum majority costs
+    about d/2 corruptions, minus overlaps), then fill the remaining
+    budget uniformly. Victims themselves are never corrupted. Raises
+    [Invalid_argument] if [count] exceeds [n]. *)

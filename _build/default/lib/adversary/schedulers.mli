@@ -1,0 +1,20 @@
+(** Asynchronous delivery policies.
+
+    The asynchronous adversary's scheduling power is a delay function;
+    these are the standard shapes used by the experiments. All are
+    deterministic (hash-based) so executions are reproducible. *)
+
+open Fba_sim
+
+val unit_delay : time:int -> 'msg Envelope.t -> int
+(** Every message takes one step (synchronous-like schedule). *)
+
+val uniform_random : seed:int64 -> max_delay:int -> time:int -> 'msg Envelope.t -> int
+(** Delay drawn deterministically from [\[1, max_delay\]] per
+    (time, src, dst) — a fair but jittery network. *)
+
+val slow_correct : corrupted:Fba_stdx.Bitset.t -> max_delay:int -> time:int -> 'msg Envelope.t -> int
+(** The classic adversarial schedule: messages between correct nodes
+    crawl at [max_delay], everything touching a Byzantine node is
+    instant. Combined with injection this gives the adversary a
+    [max_delay]-to-1 head start on every race. *)

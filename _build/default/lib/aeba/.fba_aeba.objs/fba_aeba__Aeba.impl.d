@@ -1,0 +1,1 @@
+lib/aeba/aeba.ml: Array Bytes Committee_tree Fba_sim Fba_stdx Format Hashtbl Intx List Option Phase_king Prng Stats String

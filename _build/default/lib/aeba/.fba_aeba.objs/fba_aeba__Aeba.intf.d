@@ -1,0 +1,1 @@
+lib/aeba/aeba.mli: Committee_tree Fba_sim Phase_king

@@ -1,0 +1,1 @@
+lib/aeba/committee_tree.ml: Array Fba_samplers Fba_stdx Hash64 Int64 Intx List

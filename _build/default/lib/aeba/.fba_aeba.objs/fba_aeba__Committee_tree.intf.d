@@ -1,0 +1,1 @@
+lib/aeba/committee_tree.mli:

@@ -1,0 +1,1 @@
+lib/aeba/phase_king.ml: Array Hashtbl List Option

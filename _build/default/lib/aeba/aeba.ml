@@ -1,0 +1,293 @@
+open Fba_stdx
+
+type config = {
+  n : int;
+  seed : int64;
+  tree : Committee_tree.t;
+  contrib_bits : int;
+  pk_rounds : int;  (* local rounds of each phase-king instance *)
+  t_pk_end : int;  (* global round at which the root holds gstring *)
+  rounds_total : int;
+}
+
+(* Smallest committee size m such that a uniformly sampled committee
+   contains >= ceil(m/3) Byzantine members (which would defeat
+   phase-king) with probability at most [budget]. *)
+let size_committee ~byzantine_fraction ~budget =
+  let rec search m =
+    if m >= 200 then m
+    else begin
+      let bad =
+        Stats.binomial_tail ~trials:m ~p:byzantine_fraction ~at_least:(((m - 1) / 3) + 1)
+      in
+      if bad <= budget then m else search (m + 3)
+    end
+  in
+  search 7
+
+let make_config ?group_size ?committee_size ?gstring_bits ?(byzantine_fraction = 0.1) ~n
+    ~seed () =
+  if n < 2 then invalid_arg "Aeba.make_config: n < 2";
+  let m =
+    match committee_size with
+    | Some m when m >= 1 -> m
+    | Some _ -> invalid_arg "Aeba.make_config: committee_size < 1"
+    | None -> min n (size_committee ~byzantine_fraction ~budget:0.005)
+  in
+  let group_size = match group_size with Some g -> g | None -> m in
+  let tree = Committee_tree.build ~n ~seed ~group_size ~committee_size:m in
+  let m = Committee_tree.committee_size tree in
+  let gstring_bits =
+    match gstring_bits with
+    | Some b when b >= 1 -> b
+    | Some _ -> invalid_arg "Aeba.make_config: gstring_bits < 1"
+    | None -> 8 * Intx.ceil_log2 (max 2 n)
+  in
+  let contrib_bits = Intx.cdiv gstring_bits m in
+  let pk_phases = ((m - 1) / 3) + 1 in
+  let pk_rounds = 4 * pk_phases in
+  let t_pk_end = 2 + pk_rounds in
+  let rounds_total = t_pk_end + (2 * Committee_tree.levels tree) + 2 in
+  { n; seed; tree; contrib_bits; pk_rounds; t_pk_end; rounds_total }
+
+let config_tree c = c.tree
+
+let contrib_bytes c = (c.contrib_bits + 7) / 8
+
+(* gstring is the concatenation of one byte-padded contribution per
+   root-committee slot. *)
+let config_gstring_bits c =
+  8 * contrib_bytes c * Array.length (Committee_tree.root c.tree)
+
+let total_rounds c = c.rounds_total
+
+type msg =
+  | Contrib of { slot : int; v : string }
+  | Pk of { slot : int; inner : Phase_king.msg }
+  | Relay of { level : int; index : int; v : string }
+  | Inform of { v : string }
+
+(* Plurality tally with per-sender dedup. *)
+type tally = { mutable seen : int list; counts : (string, int) Hashtbl.t }
+
+let fresh_tally () = { seen = []; counts = Hashtbl.create 8 }
+
+let tally_add t ~src v =
+  if not (List.mem src t.seen) then begin
+    t.seen <- src :: t.seen;
+    Hashtbl.replace t.counts v (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts v))
+  end
+
+let tally_plurality t =
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (bv, bc) when c < bc || (c = bc && v >= bv) -> Some (bv, bc)
+      | _ -> Some (v, c))
+    t.counts None
+
+type state = {
+  ctx : Fba_sim.Ctx.t;
+  root_slot : int option;  (* my slot in the root committee, if any *)
+  contribs : string option array;  (* received root contributions by slot *)
+  mutable pk : Phase_king.t array;  (* one instance per root slot, from round 2 *)
+  committee_values : (int * int, string) Hashtbl.t;  (* adopted per committee *)
+  relay_tallies : (int * int, tally) Hashtbl.t;
+  inform_tally : tally;
+  mutable result : string option;
+}
+
+let name = "aeba"
+
+let root_slot_of tree id =
+  let root = Committee_tree.root tree in
+  let slot = ref None in
+  Array.iteri (fun i m -> if m = id && !slot = None then slot := Some i) root;
+  !slot
+
+let default_contrib cfg = String.make ((cfg.contrib_bits + 7) / 8) '\000'
+
+let init cfg ctx =
+  let id = ctx.Fba_sim.Ctx.id in
+  let root = Committee_tree.root cfg.tree in
+  let root_slot = root_slot_of cfg.tree id in
+  let st =
+    {
+      ctx;
+      root_slot;
+      contribs = Array.make (Array.length root) None;
+      pk = [||];
+      committee_values = Hashtbl.create 4;
+      relay_tallies = Hashtbl.create 4;
+      inform_tally = fresh_tally ();
+      result = None;
+    }
+  in
+  let outs =
+    match root_slot with
+    | None -> []
+    | Some slot ->
+      (* Contribute private random bits for my slice of gstring. *)
+      let v = Bytes.unsafe_to_string (Prng.bits ctx.Fba_sim.Ctx.rng cfg.contrib_bits) in
+      st.contribs.(slot) <- Some v;
+      Array.to_list (Array.map (fun dst -> (dst, Contrib { slot; v })) root)
+  in
+  (st, outs)
+
+let assemble_gstring st =
+  String.concat "" (Array.to_list (Array.map Phase_king.current st.pk))
+
+(* Sends for the dissemination hop of committee (level, index), whose
+   adopted value is [v]. *)
+let relay_sends cfg ~level ~index v =
+  let tree = cfg.tree in
+  if level >= Committee_tree.levels tree then begin
+    let group = Committee_tree.group_members tree index in
+    Array.to_list (Array.map (fun dst -> (dst, Inform { v })) group)
+  end
+  else begin
+    List.concat_map
+      (fun (cl, ci) ->
+        Array.to_list
+          (Array.map
+             (fun dst -> (dst, Relay { level = cl; index = ci; v }))
+             (Committee_tree.committee tree ~level:cl ~index:ci)))
+      (Committee_tree.children tree ~level ~index)
+  end
+
+let on_round cfg st ~round =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  let outs = ref [] in
+  (* Root committee: drive the per-slot phase-king instances. *)
+  (match st.root_slot with
+  | None -> ()
+  | Some _ ->
+    if round = 2 then
+      st.pk <-
+        Array.init (Array.length st.contribs) (fun slot ->
+            let initial =
+              match st.contribs.(slot) with Some v -> v | None -> default_contrib cfg
+            in
+            Phase_king.create ~members:(Committee_tree.root cfg.tree) ~me:id ~initial);
+    if round >= 2 && Array.length st.pk > 0 then begin
+      let local = round - 2 in
+      if local <= cfg.pk_rounds then
+        Array.iteri
+          (fun slot pk ->
+            List.iter
+              (fun (dst, inner) -> outs := (dst, Pk { slot; inner }) :: !outs)
+              (Phase_king.on_round pk ~round:local))
+          st.pk
+    end;
+    (* Root's dissemination hop. *)
+    if round = cfg.t_pk_end then begin
+      let g = assemble_gstring st in
+      Hashtbl.replace st.committee_values (0, 0) g;
+      outs := List.rev_append (relay_sends cfg ~level:0 ~index:0 g) !outs
+    end);
+  (* Non-root committees: adopt plurality and relay on schedule. *)
+  List.iter
+    (fun (level, index) ->
+      if level > 0 && round = cfg.t_pk_end + (2 * level) then begin
+        let v =
+          match Hashtbl.find_opt st.relay_tallies (level, index) with
+          | Some t -> (match tally_plurality t with Some (v, _) -> v | None -> default_contrib cfg)
+          | None -> default_contrib cfg
+        in
+        Hashtbl.replace st.committee_values (level, index) v;
+        outs := List.rev_append (relay_sends cfg ~level ~index v) !outs
+      end)
+    (Committee_tree.memberships cfg.tree id);
+  (* Every node: final adoption from its leaf committee. *)
+  if round = cfg.rounds_total && st.result = None then begin
+    let v =
+      match tally_plurality st.inform_tally with
+      | Some (v, _) -> v
+      | None -> String.concat "" (List.init (Array.length st.contribs) (fun _ -> default_contrib cfg))
+    in
+    st.result <- Some v
+  end;
+  List.rev !outs
+
+let on_receive cfg st ~round:_ ~src m =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  let tree = cfg.tree in
+  (match m with
+  | Contrib { slot; v } ->
+    (* Only root members exchange contributions; slot must match the
+       sender's position in the root committee. *)
+    (match st.root_slot with
+    | Some _ when slot >= 0 && slot < Array.length st.contribs ->
+      let root = Committee_tree.root tree in
+      if root.(slot) = src && st.contribs.(slot) = None && String.length v = contrib_bytes cfg
+      then st.contribs.(slot) <- Some v
+    | _ -> ())
+  | Pk { slot; inner } ->
+    if st.root_slot <> None && Array.length st.pk > 0 && slot >= 0 && slot < Array.length st.pk
+    then Phase_king.on_receive st.pk.(slot) ~round:0 ~src inner
+  | Relay { level; index; v } ->
+    (* Accept only on the edge parent-committee -> my committee. *)
+    if
+      level >= 1
+      && level <= Committee_tree.levels tree
+      && index >= 0
+      && index < 1 lsl level
+      && Committee_tree.is_member tree ~level ~index id
+      && Committee_tree.is_member tree ~level:(level - 1) ~index:(index / 2) src
+    then begin
+      let t =
+        match Hashtbl.find_opt st.relay_tallies (level, index) with
+        | Some t -> t
+        | None ->
+          let t = fresh_tally () in
+          Hashtbl.add st.relay_tallies (level, index) t;
+          t
+      in
+      tally_add t ~src v
+    end
+  | Inform { v } ->
+    let leaf_level = Committee_tree.levels tree in
+    let g = Committee_tree.group_of tree id in
+    if Committee_tree.is_member tree ~level:leaf_level ~index:g src then
+      tally_add st.inform_tally ~src v);
+  []
+
+let output st = st.result
+
+let node_output = output
+
+let msg_bits cfg m =
+  let id_bits = Intx.ceil_log2 (max 2 cfg.n) in
+  let header = 8 + (2 * id_bits) in
+  let payload =
+    match m with
+    | Contrib { v; _ } -> 8 + (8 * String.length v)
+    | Pk { inner = Phase_king.Value v | Phase_king.King v; _ } -> 16 + (8 * String.length v)
+    | Relay { v; _ } -> 16 + (8 * String.length v)
+    | Inform { v } -> 8 * String.length v
+  in
+  header + payload
+
+let pp_msg fmt = function
+  | Contrib { slot; _ } -> Format.fprintf fmt "Contrib(slot=%d)" slot
+  | Pk { slot; inner = Phase_king.Value _ } -> Format.fprintf fmt "Pk(Value, slot=%d)" slot
+  | Pk { slot; inner = Phase_king.King _ } -> Format.fprintf fmt "Pk(King, slot=%d)" slot
+  | Relay { level; index; _ } -> Format.fprintf fmt "Relay(%d,%d)" level index
+  | Inform _ -> Format.fprintf fmt "Inform"
+
+let reference_string outputs correct_mask =
+  let counts = Hashtbl.create 8 in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some v when correct_mask.(i) ->
+        Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      | _ -> ())
+    outputs;
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (_, bc) when c <= bc -> best
+      | _ -> Some (v, c))
+    counts None
+  |> Option.map fst

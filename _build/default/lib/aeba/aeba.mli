@@ -1,0 +1,70 @@
+(** Almost-everywhere agreement on a common random string — the
+    [KSSV06]-shaped substrate the paper composes AER with (Section 1,
+    "Our contribution"; DESIGN.md substitution 1).
+
+    Structure (synchronous):
+    + the root committee's members each contribute
+      [gstring_bits / m] private random bits, then run one phase-king
+      agreement per contribution so that all correct members hold the
+      same concatenation — gstring. Since fewer than 1/3 of the
+      committee is Byzantine (w.h.p. by sampling), at least 2/3 + ε of
+      gstring's bits are uniformly random: exactly the paper's
+      precondition on gstring;
+    + gstring then flows down the committee tree, each member adopting
+      the plurality of what the parent committee sent, leaf committees
+      informing their groups. Every correct node outputs a string; all
+      but the subtrees under (rare) corrupted-majority committees
+      output gstring — the almost-everywhere guarantee, with
+      polylogarithmic per-node communication.
+
+    The protocol is round-driven and meant for the synchronous engine
+    (KSSV06 itself is synchronous; asynchronous almost-everywhere
+    agreement is open — see the paper's conclusion). *)
+
+type config
+
+val make_config :
+  ?group_size:int ->
+  ?committee_size:int ->
+  ?gstring_bits:int ->
+  ?byzantine_fraction:float ->
+  n:int ->
+  seed:int64 ->
+  unit ->
+  config
+(** Defaults: [committee_size] is the smallest m whose probability of
+    containing ≥ ⌈m/3⌉ Byzantine members (breaking phase-king) stays
+    below 0.005 given [byzantine_fraction] (default 0.1);
+    [group_size = committee_size]; [gstring_bits = 8·⌈log₂ n⌉]. *)
+
+val config_tree : config -> Committee_tree.t
+
+val config_gstring_bits : config -> int
+(** Actual gstring length: contributions are padded so it is a
+    multiple of the committee size. *)
+
+val total_rounds : config -> int
+(** Rounds until every correct node has produced an output. *)
+
+(** Wire messages — exposed so adversary strategies can forge them
+    (the engine still enforces corrupted-source authentication). *)
+type msg =
+  | Contrib of { slot : int; v : string }
+      (** a root member's random slice of gstring *)
+  | Pk of { slot : int; inner : Phase_king.msg }
+      (** intra-committee phase-king traffic, one instance per slot *)
+  | Relay of { level : int; index : int; v : string }
+      (** parent committee -> child committee dissemination *)
+  | Inform of { v : string }  (** leaf committee -> group member *)
+
+include Fba_sim.Protocol.S with type config := config and type msg := msg
+
+val node_output : state -> string option
+(** Same as {!output}. *)
+
+(** {2 Evaluation helpers} *)
+
+val reference_string : (string option array -> bool array -> string option)
+(** [reference_string outputs correct_mask] is the plurality output
+    among correct nodes — the "gstring" an execution actually agreed
+    on, used to measure the almost-everywhere fraction. *)

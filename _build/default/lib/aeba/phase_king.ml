@@ -1,0 +1,122 @@
+type msg = Value of string | King of string
+
+(* Four local rounds per phase, leaving one round of slack for the
+   engine's send-at-r/deliver-at-r+1 lag:
+     4k    broadcast Value
+     4k+1  (values delivered, tallied)
+     4k+2  the phase king broadcasts its plurality
+     4k+3  (king value delivered)
+     4k+4  apply the king rule, start the next phase (or finish). *)
+
+type phase_tally = {
+  mutable seen_value : int list;  (* members already counted this phase *)
+  counts : (string, int) Hashtbl.t;
+  mutable king_value : string option;
+}
+
+type t = {
+  members : int array;
+  member_set : (int, int) Hashtbl.t;  (* id -> slot *)
+  me : int;
+  faults : int;  (* tolerated faults: largest t with 3t < |members| *)
+  mutable value : string;
+  mutable cur_phase : int;
+  mutable tally : phase_tally;
+  mutable done_ : bool;
+}
+
+let fresh_tally () = { seen_value = []; counts = Hashtbl.create 8; king_value = None }
+
+let create ~members ~me ~initial =
+  if Array.length members = 0 then invalid_arg "Phase_king.create: empty member set";
+  let member_set = Hashtbl.create (Array.length members) in
+  Array.iteri (fun slot id -> if not (Hashtbl.mem member_set id) then Hashtbl.add member_set id slot) members;
+  if not (Hashtbl.mem member_set me) then invalid_arg "Phase_king.create: me not a member";
+  {
+    members;
+    member_set;
+    me;
+    faults = (Array.length members - 1) / 3;
+    value = initial;
+    cur_phase = 0;
+    tally = fresh_tally ();
+    done_ = false;
+  }
+
+let phases t = t.faults + 1
+
+let rounds_needed t = 4 * phases t
+
+let king_of t phase = t.members.(phase mod Array.length t.members)
+
+let broadcast t m = Array.to_list (Array.map (fun id -> (id, m)) t.members)
+
+(* Plurality with deterministic (lexicographic) tie-breaking. *)
+let plurality t =
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (bv, bc) when c < bc || (c = bc && v >= bv) -> Some (bv, bc)
+      | _ -> Some (v, c))
+    t.tally.counts None
+
+let apply_king_rule t =
+  let m = Array.length t.members in
+  let keep_threshold = m - t.faults in
+  match plurality t with
+  | None ->
+    (* Nothing received (all peers faulty): keep the current value. *)
+    ()
+  | Some (maj, cnt) ->
+    if cnt >= keep_threshold then t.value <- maj
+    else begin
+      match t.tally.king_value with
+      | Some kv -> t.value <- kv
+      | None -> t.value <- maj (* faulty king stayed silent *)
+    end
+
+let on_round t ~round =
+  if t.done_ || round < 0 then []
+  else if round >= rounds_needed t then begin
+    if not t.done_ then begin
+      apply_king_rule t;
+      t.done_ <- true
+    end;
+    []
+  end
+  else begin
+    match round mod 4 with
+    | 0 ->
+      if round > 0 then begin
+        apply_king_rule t;
+        t.cur_phase <- round / 4;
+        t.tally <- fresh_tally ()
+      end;
+      broadcast t (Value t.value)
+    | 2 -> if king_of t t.cur_phase = t.me then
+        (match plurality t with
+        | Some (maj, _) -> broadcast t (King maj)
+        | None -> broadcast t (King t.value))
+      else []
+    | _ -> []
+  end
+
+let on_receive t ~round:_ ~src msg =
+  if (not t.done_) && Hashtbl.mem t.member_set src then begin
+    match msg with
+    | Value v ->
+      if not (List.mem src t.tally.seen_value) then begin
+        t.tally.seen_value <- src :: t.tally.seen_value;
+        Hashtbl.replace t.tally.counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally.counts v))
+      end
+    | King v ->
+      if src = king_of t t.cur_phase && t.tally.king_value = None then
+        t.tally.king_value <- Some v
+  end
+
+let current t = t.value
+
+let finished t ~round = round >= rounds_needed t
+
+let output t = if t.done_ then Some t.value else None

@@ -1,0 +1,1 @@
+lib/baselines/grid_aetoe.ml: Array Fba_sim Fba_stdx Format Hashtbl Intx List Option

@@ -1,0 +1,1 @@
+lib/baselines/grid_aetoe.mli: Fba_sim

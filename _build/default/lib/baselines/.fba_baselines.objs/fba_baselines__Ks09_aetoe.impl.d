@@ -1,0 +1,1 @@
+lib/baselines/ks09_aetoe.ml: Array Fba_sim Fba_stdx Format Hashtbl Intx List Option Printf Prng

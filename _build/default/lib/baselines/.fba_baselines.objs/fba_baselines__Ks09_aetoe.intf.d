@@ -1,0 +1,1 @@
+lib/baselines/ks09_aetoe.mli: Fba_sim Fba_stdx

@@ -1,0 +1,1 @@
+lib/baselines/naive_aetoe.ml: Array Fba_sim Fba_stdx Format Hashtbl Intx List Option Prng

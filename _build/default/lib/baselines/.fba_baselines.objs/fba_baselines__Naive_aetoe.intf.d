@@ -1,0 +1,1 @@
+lib/baselines/naive_aetoe.mli: Fba_sim Fba_stdx

@@ -1,0 +1,1 @@
+lib/baselines/phase_king_proto.ml: Array Fba_aeba Fba_sim Fba_stdx Format Intx

@@ -1,0 +1,1 @@
+lib/baselines/phase_king_proto.mli: Fba_sim

@@ -1,0 +1,1 @@
+lib/baselines/randomized_ba.ml: Array Fba_sim Fba_stdx Format Hash64 Hashtbl Int64 Intx List Prng

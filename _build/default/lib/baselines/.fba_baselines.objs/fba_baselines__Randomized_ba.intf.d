@@ -1,0 +1,1 @@
+lib/baselines/randomized_ba.mli: Fba_sim Fba_stdx

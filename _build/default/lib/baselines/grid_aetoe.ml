@@ -1,0 +1,108 @@
+open Fba_stdx
+
+type config = { n : int; cols : int; initial : int -> string; str_bits : int }
+
+let make_config ~n ~initial ~str_bits =
+  if n < 1 then invalid_arg "Grid_aetoe.make_config: n < 1";
+  if str_bits < 1 then invalid_arg "Grid_aetoe.make_config: str_bits < 1";
+  { n; cols = max 1 (Intx.isqrt n); initial; str_bits }
+
+type msg = Along_row of string | Along_col of string
+
+type tally = { mutable seen : int list; counts : (string, int) Hashtbl.t }
+
+let fresh_tally () = { seen = []; counts = Hashtbl.create 8 }
+
+let tally_add t ~src v =
+  if not (List.mem src t.seen) then begin
+    t.seen <- src :: t.seen;
+    Hashtbl.replace t.counts v (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts v))
+  end
+
+let tally_plurality t =
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (bv, bc) when c < bc || (c = bc && v >= bv) -> Some (bv, bc)
+      | _ -> Some (v, c))
+    t.counts None
+
+type state = {
+  ctx : Fba_sim.Ctx.t;
+  value : string;
+  row_tally : tally;
+  col_tally : tally;
+  mutable result : string option;
+}
+
+let name = "grid-aetoe"
+
+let row_of cfg id = id / cfg.cols
+let col_of cfg id = id mod cfg.cols
+
+let row_members cfg r =
+  let first = r * cfg.cols in
+  let len = min cfg.cols (cfg.n - first) in
+  Array.init (max 0 len) (fun i -> first + i)
+
+let col_members cfg c =
+  let rows = Intx.cdiv cfg.n cfg.cols in
+  let acc = ref [] in
+  for r = rows - 1 downto 0 do
+    let id = (r * cfg.cols) + c in
+    if id < cfg.n then acc := id :: !acc
+  done;
+  Array.of_list !acc
+
+let init cfg ctx =
+  let id = ctx.Fba_sim.Ctx.id in
+  let value = cfg.initial id in
+  let st = { ctx; value; row_tally = fresh_tally (); col_tally = fresh_tally (); result = None } in
+  (* Own value counts toward both majorities. *)
+  tally_add st.row_tally ~src:id value;
+  let msg = Along_row value in
+  let sends =
+    Array.to_list
+      (Array.map (fun dst -> (dst, msg)) (row_members cfg (row_of cfg id)))
+  in
+  (st, List.filter (fun (dst, _) -> dst <> id) sends)
+
+let on_round cfg st ~round =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  match round with
+  | 2 ->
+    (* Row values arrived during round 1: forward the row majority
+       down the column. *)
+    let maj = match tally_plurality st.row_tally with Some (v, _) -> v | None -> st.value in
+    tally_add st.col_tally ~src:id maj;
+    let msg = Along_col maj in
+    Array.to_list
+      (Array.map (fun dst -> (dst, msg)) (col_members cfg (col_of cfg id)))
+    |> List.filter (fun (dst, _) -> dst <> id)
+  | 4 ->
+    (* Column values arrived during round 3: decide. *)
+    if st.result = None then
+      st.result <-
+        Some (match tally_plurality st.col_tally with Some (v, _) -> v | None -> st.value);
+    []
+  | _ -> []
+
+let on_receive cfg st ~round:_ ~src m =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  (match m with
+  | Along_row v -> if row_of cfg src = row_of cfg id then tally_add st.row_tally ~src v
+  | Along_col v -> if col_of cfg src = col_of cfg id then tally_add st.col_tally ~src v);
+  []
+
+let output st = st.result
+
+let msg_bits cfg m =
+  let id_bits = Intx.ceil_log2 (max 2 cfg.n) in
+  let header = 8 + (2 * id_bits) in
+  match m with Along_row _ | Along_col _ -> header + cfg.str_bits
+
+let pp_msg fmt = function
+  | Along_row _ -> Format.fprintf fmt "Along_row"
+  | Along_col _ -> Format.fprintf fmt "Along_col"
+
+let total_rounds = 5

@@ -1,0 +1,22 @@
+(** Load-balanced O~(√n) almost-everywhere→everywhere baseline — the
+    KLST11 comparison row of Figure 1(a) (DESIGN.md substitution 2).
+
+    Nodes sit on a ⌈√n⌉-wide grid. Each node broadcasts its candidate
+    along its row; every node then forwards its row's majority value
+    along its column; finally each node adopts the majority of the row
+    majorities it received. Every node sends and receives Θ(√n)
+    strings — perfectly load-balanced, O(√n·log n) bits per node, O(1)
+    rounds. Correct as long as a majority of rows deliver a majority-
+    knowledgeable sample, which holds w.h.p. under the paper's
+    (1/2+ε)-knowledge precondition with random corruption. *)
+
+type config
+
+val make_config : n:int -> initial:(int -> string) -> str_bits:int -> config
+(** [initial] gives each node's starting candidate; [str_bits] is the
+    wire size of one candidate (for accounting). *)
+
+include Fba_sim.Protocol.S with type config := config
+
+val total_rounds : int
+(** Rounds after which every correct node has decided (5). *)

@@ -1,0 +1,17 @@
+(** Standalone phase-king Byzantine agreement over the whole system —
+    the deterministic baseline of Figure 1(b).
+
+    Wraps {!Fba_aeba.Phase_king} as an engine protocol with all n nodes
+    as members. Tolerates t < n/3, runs 4·(⌊(n−1)/3⌋+1) rounds and
+    exchanges Θ(n²) strings per phase — i.e. Θ(n³·|s|) total bits: the
+    deterministic cost wall (cf. [FL82]'s t+1 round lower bound and
+    [DR85]'s Ω(n²) message bound) that motivates the paper's randomized
+    approach. Only feasible at small n. *)
+
+type config
+
+val make_config : n:int -> initial:(int -> string) -> str_bits:int -> config
+
+include Fba_sim.Protocol.S with type config := config
+
+val total_rounds : config -> int

@@ -1,0 +1,1 @@
+lib/core/aer.ml: Array Fba_samplers Fba_sim Fba_stdx Hashtbl List Msg Params Prng Scenario

@@ -1,0 +1,1 @@
+lib/core/aer.mli: Fba_sim Msg Params Scenario

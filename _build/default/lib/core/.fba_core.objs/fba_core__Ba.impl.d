@@ -1,0 +1,1 @@
+lib/core/ba.ml: Aer Array Bitset Fba_aeba Fba_sim Fba_stdx Hash64 Params Printf Prng Scenario String

@@ -1,0 +1,1 @@
+lib/core/ba.mli: Fba_aeba Fba_sim Fba_stdx Msg Scenario

@@ -1,0 +1,1 @@
+lib/core/binary_ba.ml: Array Ba Bitset Fba_baselines Fba_sim Fba_stdx Hash64 Int64

@@ -1,0 +1,1 @@
+lib/core/binary_ba.mli: Fba_sim

@@ -1,0 +1,1 @@
+lib/core/params.ml: Fba_samplers Fba_stdx Hash64 Intx Printf Stats

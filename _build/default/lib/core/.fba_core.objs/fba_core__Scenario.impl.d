@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Bitset Bytes Fba_stdx Params Prng String

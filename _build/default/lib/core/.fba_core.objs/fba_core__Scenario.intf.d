@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Bitset Fba_stdx Params Prng

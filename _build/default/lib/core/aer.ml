@@ -1,0 +1,363 @@
+open Fba_stdx
+module Cache = Fba_samplers.Cache
+module Push_plan = Fba_samplers.Push_plan
+
+type config = {
+  params : Params.t;
+  scenario : Scenario.t;
+  qi : Cache.t;  (* push quorums I *)
+  qh : Cache.t;  (* pull quorums H *)
+  qj : Cache.t;  (* poll lists J *)
+  plan : Push_plan.t;  (* inverse of I, for the push fan-out *)
+  strict_drop : bool;  (* drop belief-mismatched messages instead of buffering *)
+}
+
+let config_of_scenario ?(strict_drop = false) (scenario : Scenario.t) =
+  let params = scenario.Scenario.params in
+  let si = Params.sampler_i params in
+  {
+    params;
+    scenario;
+    qi = Cache.create si;
+    qh = Cache.create (Params.sampler_h params);
+    qj = Cache.create (Params.sampler_j params);
+    plan = Push_plan.create ~sampler:si;
+    strict_drop;
+  }
+
+let config_params c = c.params
+let config_scenario c = c.scenario
+
+type msg = Msg.t
+
+(* Small imperative helpers over Hashtbl-as-set. *)
+let set () : (int, unit) Hashtbl.t = Hashtbl.create 8
+
+let set_add tbl v =
+  if Hashtbl.mem tbl v then false
+  else begin
+    Hashtbl.add tbl v ();
+    true
+  end
+
+let set_card = Hashtbl.length
+
+(* Per (s, x) forwarding state of Algorithm 2's second handler. *)
+type fw1_record = {
+  f1_senders : (int, unit) Hashtbl.t;  (* distinct y ∈ H(s,x) seen *)
+  f1_targets : (int, int64) Hashtbl.t;  (* verified w ↦ label r *)
+  f1_served : (int, unit) Hashtbl.t;  (* w's already sent an Fw2 *)
+}
+
+(* An outstanding poll of Algorithm 1, with the optional re-poll
+   extension state (Params.max_poll_attempts). *)
+type poll = {
+  mutable p_r : int64;
+  mutable p_answers : (int, unit) Hashtbl.t;
+  mutable p_attempts : int;
+  mutable p_issued : int;  (* round of the last (re-)issue *)
+}
+
+type state = {
+  ctx : Fba_sim.Ctx.t;
+  mutable belief : string;  (* s_this *)
+  mutable decided : string option;
+  candidates : (string, unit) Hashtbl.t;  (* L_x *)
+  push_senders : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  polls : (string, poll) Hashtbl.t;
+  pulls_seen : (int * string, (int64, unit) Hashtbl.t) Hashtbl.t;
+      (* Pull dedup: labels already routed per (x, s); capped at
+         max_poll_attempts to bound the Fw1 amplification *)
+  fw1 : (string * int, fw1_record) Hashtbl.t;
+  fw2 : (string * int, (int, unit) Hashtbl.t) Hashtbl.t;  (* distinct z ∈ H(s,this) *)
+  polled : (int * string, unit) Hashtbl.t;  (* Algorithm 3's Polled set *)
+  answer_counts : (string, int ref) Hashtbl.t;  (* Count_s *)
+  answered : (int * string, unit) Hashtbl.t;
+  mutable muted : (string * int) list;  (* answer-ready pairs gated by the filter *)
+  mutable deferred : (int * Msg.t) list;  (* belief-mismatched messages *)
+  mutable push_sent : int;
+  mutable answers_emitted : int;
+}
+
+let name = "aer"
+
+let count_of tbl key = match Hashtbl.find_opt tbl key with Some c -> set_card c | None -> 0
+
+let counter_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+    let c = set () in
+    Hashtbl.add tbl key c;
+    c
+
+let answer_count st s =
+  match Hashtbl.find_opt st.answer_counts s with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add st.answer_counts s r;
+    r
+
+(* Algorithm 1: poll a fresh random sample and the pull quorum for s. *)
+let issue_poll ?(round = 0) cfg st s =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  let r = Prng.int64 st.ctx.Fba_sim.Ctx.rng in
+  (match Hashtbl.find_opt st.polls s with
+  | Some p ->
+    p.p_r <- r;
+    p.p_answers <- set ();
+    p.p_attempts <- p.p_attempts + 1;
+    p.p_issued <- round
+  | None ->
+    Hashtbl.replace st.polls s { p_r = r; p_answers = set (); p_attempts = 1; p_issued = round });
+  let poll_msg = Msg.Poll { s; r } in
+  let pull_msg = Msg.Pull { s; r } in
+  let to_poll =
+    Array.to_list (Array.map (fun w -> (w, poll_msg)) (Cache.quorum_xr cfg.qj ~x:id ~r))
+  in
+  let to_pull =
+    Array.to_list (Array.map (fun y -> (y, pull_msg)) (Cache.quorum_sx cfg.qh ~s ~x:id))
+  in
+  to_poll @ to_pull
+
+(* Algorithm 3's answer emission, gated by the log² n filter: an
+   overloaded node waits until it has decided before answering more. *)
+let try_answer cfg st s x =
+  if
+    Hashtbl.mem st.polled (x, s)
+    && (not (Hashtbl.mem st.answered (x, s)))
+    && count_of st.fw2 (s, x) >= Params.majority_h cfg.params
+  then begin
+    let cnt = answer_count st s in
+    if st.decided <> None || !cnt < cfg.params.Params.pull_filter then begin
+      incr cnt;
+      Hashtbl.add st.answered (x, s) ();
+      st.answers_emitted <- st.answers_emitted + 1;
+      [ (x, Msg.Answer s) ]
+    end
+    else begin
+      st.muted <- (s, x) :: st.muted;
+      []
+    end
+  end
+  else []
+
+(* Push phase acceptance: s enters L_x on a strict majority of I(s, x). *)
+let rec handle_push cfg st ~src s =
+  if st.decided <> None || Hashtbl.mem st.candidates s then []
+  else begin
+    let id = st.ctx.Fba_sim.Ctx.id in
+    if not (Cache.mem_sx cfg.qi ~s ~x:id ~y:src) then []
+    else begin
+      let senders = counter_of st.push_senders s in
+      if set_add senders src && set_card senders >= Params.majority_i cfg.params then begin
+        Hashtbl.add st.candidates s ();
+        issue_poll cfg st s
+      end
+      else []
+    end
+  end
+
+and handle_poll cfg st ~src s r =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  if not (Cache.mem_xr cfg.qj ~x:src ~r ~y:id) then []
+  else begin
+    if not (Hashtbl.mem st.polled (src, s)) then Hashtbl.add st.polled (src, s) ();
+    (* The Fw2 majority may already be in (asynchronous reordering):
+       Algorithm 3's Poll handler answers immediately in that case. *)
+    try_answer cfg st s src
+  end
+
+and handle_pull cfg st ~src s r =
+  if s <> st.belief then defer cfg st ~src (Msg.Pull { s; r })
+  else begin
+    let labels =
+      match Hashtbl.find_opt st.pulls_seen (src, s) with
+      | Some l -> l
+      | None ->
+        let l = Hashtbl.create 2 in
+        Hashtbl.add st.pulls_seen (src, s) l;
+        l
+    in
+    if Hashtbl.mem labels r || Hashtbl.length labels >= cfg.params.Params.max_poll_attempts
+    then []
+    else begin
+    Hashtbl.add labels r ();
+    let id = st.ctx.Fba_sim.Ctx.id in
+    if not (Cache.mem_sx cfg.qh ~s ~x:src ~y:id) then []
+    else begin
+      (* Algorithm 2, first handler: fan the request out to the pull
+         quorums of every poll-list member. *)
+      let outs = ref [] in
+      Array.iter
+        (fun w ->
+          let m = Msg.Fw1 { x = src; s; r; w } in
+          Array.iter (fun z -> outs := (z, m) :: !outs) (Cache.quorum_sx cfg.qh ~s ~x:w))
+        (Cache.quorum_xr cfg.qj ~x:src ~r);
+      !outs
+    end
+    end
+  end
+
+and handle_fw1 cfg st ~src ~x s r w =
+  if s <> st.belief then defer cfg st ~src (Msg.Fw1 { x; s; r; w })
+  else begin
+    let id = st.ctx.Fba_sim.Ctx.id in
+    if
+      Cache.mem_sx cfg.qh ~s ~x:w ~y:id
+      && Cache.mem_sx cfg.qh ~s ~x ~y:src
+      && Cache.mem_xr cfg.qj ~x ~r ~y:w
+    then begin
+      let rc =
+        match Hashtbl.find_opt st.fw1 (s, x) with
+        | Some rc -> rc
+        | None ->
+          let rc = { f1_senders = set (); f1_targets = Hashtbl.create 8; f1_served = set () } in
+          Hashtbl.add st.fw1 (s, x) rc;
+          rc
+      in
+      if not (Hashtbl.mem rc.f1_targets w) then Hashtbl.add rc.f1_targets w r;
+      let newly = set_add rc.f1_senders src in
+      let c = set_card rc.f1_senders in
+      let maj = Params.majority_h cfg.params in
+      let serve w r acc =
+        if set_add rc.f1_served w then (w, Msg.Fw2 { x; s; r }) :: acc else acc
+      in
+      if c >= maj then begin
+        if newly && c = maj then
+          (* Majority just reached: serve every verified target once. *)
+          Hashtbl.fold serve rc.f1_targets []
+        else serve w r []
+      end
+      else []
+    end
+    else []
+  end
+
+and handle_fw2 cfg st ~src ~x s r =
+  if s <> st.belief then defer cfg st ~src (Msg.Fw2 { x; s; r })
+  else begin
+    let id = st.ctx.Fba_sim.Ctx.id in
+    if Cache.mem_xr cfg.qj ~x ~r ~y:id && Cache.mem_sx cfg.qh ~s ~x:id ~y:src then begin
+      let zs = counter_of st.fw2 (s, x) in
+      if set_add zs src then try_answer cfg st s x else []
+    end
+    else []
+  end
+
+and handle_answer cfg st ~src s =
+  if st.decided <> None then []
+  else begin
+    match Hashtbl.find_opt st.polls s with
+    | None -> []
+    | Some p ->
+      let id = st.ctx.Fba_sim.Ctx.id in
+      if not (Cache.mem_xr cfg.qj ~x:id ~r:p.p_r ~y:src) then []
+      else if set_add p.p_answers src && set_card p.p_answers >= Params.majority_j cfg.params
+      then decide cfg st s
+      else []
+  end
+
+(* Decision: fix the belief, then replay buffered traffic that now
+   matches it and release answers the overload filter was holding. *)
+and decide cfg st s =
+  st.decided <- Some s;
+  st.belief <- s;
+  let backlog = List.rev st.deferred in
+  st.deferred <- [];
+  let muted = List.rev st.muted in
+  st.muted <- [];
+  let outs = ref [] in
+  List.iter
+    (fun (src, m) ->
+      match m with
+      | Msg.Pull { s = s'; _ } | Msg.Fw1 { s = s'; _ } | Msg.Fw2 { s = s'; _ } when s' <> s ->
+        ()
+      | _ -> outs := dispatch cfg st ~src m :: !outs)
+    backlog;
+  List.iter (fun (s', x) -> if s' = s then outs := try_answer cfg st s' x :: !outs) muted;
+  List.concat (List.rev !outs)
+
+and defer cfg st ~src m =
+  (* DESIGN.md substitution 6: the paper's pseudo-code drops these;
+     buffering + replay is equivalent under asynchrony and avoids
+     starving late deciders under a synchronous schedule. strict_drop
+     restores the literal behaviour for the ablation. *)
+  if (not cfg.strict_drop) && st.decided = None then st.deferred <- (src, m) :: st.deferred;
+  []
+
+and dispatch cfg st ~src m =
+  match m with
+  | Msg.Push s -> handle_push cfg st ~src s
+  | Msg.Poll { s; r } -> handle_poll cfg st ~src s r
+  | Msg.Pull { s; r } -> handle_pull cfg st ~src s r
+  | Msg.Fw1 { x; s; r; w } -> handle_fw1 cfg st ~src ~x s r w
+  | Msg.Fw2 { x; s; r } -> handle_fw2 cfg st ~src ~x s r
+  | Msg.Answer s -> handle_answer cfg st ~src s
+
+let init cfg ctx =
+  let id = ctx.Fba_sim.Ctx.id in
+  let s0 = cfg.scenario.Scenario.initial.(id) in
+  let st =
+    {
+      ctx;
+      belief = s0;
+      decided = None;
+      candidates = Hashtbl.create 8;
+      push_senders = Hashtbl.create 8;
+      polls = Hashtbl.create 8;
+      pulls_seen = Hashtbl.create 32;
+      fw1 = Hashtbl.create 32;
+      fw2 = Hashtbl.create 32;
+      polled = Hashtbl.create 32;
+      answer_counts = Hashtbl.create 8;
+      answered = Hashtbl.create 32;
+      muted = [];
+      deferred = [];
+      push_sent = 0;
+      answers_emitted = 0;
+    }
+  in
+  Hashtbl.add st.candidates s0 ();
+  let push_msg = Msg.Push s0 in
+  let pushes =
+    Array.to_list
+      (Array.map (fun x -> (x, push_msg)) (Push_plan.targets cfg.plan ~s:s0 ~y:id))
+  in
+  st.push_sent <- List.length pushes;
+  (st, pushes @ issue_poll cfg st s0)
+
+(* The re-poll extension: a candidate whose poll went unanswered for
+   repoll_timeout rounds retries with a fresh label, up to
+   max_poll_attempts. With the default budget of 1 attempt this hook is
+   inert and the protocol is exactly the paper's. *)
+let on_round cfg st ~round =
+  if st.decided <> None || cfg.params.Params.max_poll_attempts <= 1 then []
+  else begin
+    let due = ref [] in
+    Hashtbl.iter
+      (fun s (p : poll) ->
+        if
+          p.p_attempts < cfg.params.Params.max_poll_attempts
+          && round - p.p_issued >= cfg.params.Params.repoll_timeout
+        then due := s :: !due)
+      st.polls;
+    List.concat_map (fun s -> issue_poll ~round cfg st s) !due
+  end
+
+let on_receive cfg st ~round:_ ~src m = dispatch cfg st ~src m
+
+let output st = st.decided
+
+let msg_bits cfg m = Msg.bits cfg.params m
+
+let pp_msg = Msg.pp
+
+let belief st = st.belief
+let decided st = st.decided
+let candidates st = Hashtbl.fold (fun s () acc -> s :: acc) st.candidates []
+let candidate_count st = Hashtbl.length st.candidates
+let push_messages_sent st = st.push_sent
+let deferred_count st = List.length st.deferred
+let answers_sent st = st.answers_emitted

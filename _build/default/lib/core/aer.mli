@@ -1,0 +1,64 @@
+(** AER — the paper's almost-everywhere to everywhere agreement
+    protocol (Section 3).
+
+    Each correct node starts with a candidate string; more than half of
+    all nodes are correct and hold the common gstring. The protocol has
+    two phases:
+
+    - {b Push} (Section 3.1.1): every node diffuses its initial
+      candidate to the nodes whose push quorum it belongs to; a node
+      accepts a string into its candidate list L_x only when a strict
+      majority of the push quorum I(s, x) vouches for it.
+    - {b Pull} (Section 3.1.2, Algorithms 1–3): for each candidate, the
+      node polls a random poll list J(x, r) through the filtered
+      forwarding chain H(s, x) → H(s, w) → w, and decides on the first
+      candidate confirmed by a majority of its poll list.
+
+    The module satisfies {!Fba_sim.Protocol.S}, so it runs unchanged on
+    the synchronous engine (rushing or not) and the asynchronous one.
+
+    One implementation deviation from the paper's pseudo-code is
+    recorded in DESIGN.md (substitution 6): messages whose string does
+    not match the receiver's current belief are buffered and replayed
+    when the belief changes (upon decision), rather than dropped. Under
+    asynchrony the two are equivalent (the scheduler could simply have
+    delayed those messages); under a synchronous schedule the literal
+    reading can starve late deciders. *)
+
+type config
+
+val config_of_scenario : ?strict_drop:bool -> Scenario.t -> config
+(** Shared immutable setup (samplers, memoized quorums, initial
+    candidate assignment). The same value must be used for every node
+    of an execution — quorum caches inside are shared deliberately.
+    [strict_drop] (default false) applies the paper's pseudo-code
+    literally, dropping belief-mismatched messages instead of buffering
+    them (DESIGN.md substitution 6) — exposed for the ablation that
+    shows why we buffer. *)
+
+val config_params : config -> Params.t
+val config_scenario : config -> Scenario.t
+
+include Fba_sim.Protocol.S with type config := config and type msg = Msg.t
+
+(** {2 State inspection (experiments and tests)} *)
+
+val belief : state -> string
+(** Current s_this. *)
+
+val decided : state -> string option
+
+val candidates : state -> string list
+(** The candidate list L_x. *)
+
+val candidate_count : state -> int
+
+val push_messages_sent : state -> int
+(** Number of push-phase messages this node sent (Lemma 3). *)
+
+val deferred_count : state -> int
+(** Buffered messages awaiting a belief change. *)
+
+val answers_sent : state -> int
+(** Total Answer messages emitted (the Count_s filter of Algorithm 3
+    sums over strings here). *)

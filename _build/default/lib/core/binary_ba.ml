@@ -1,0 +1,75 @@
+open Fba_stdx
+module RBA = Fba_baselines.Randomized_ba
+module RBA_engine = Fba_sim.Sync_engine.Make (RBA)
+
+type result = {
+  metrics : Fba_sim.Metrics.t;
+  decisions : string option array;
+  decided_bit : bool option;
+  agreed : int;
+  correct : int;
+  validity_respected : bool;
+}
+
+let run_sync ?(split_attack = true) ~inputs ~n ~seed ~byzantine_fraction () =
+  (* Phases 1–2: the paper's BA produces a common random string. *)
+  let ba = Ba.run_sync ~n ~seed ~byzantine_fraction () in
+  match ba.Ba.gstring with
+  | None ->
+    {
+      metrics = ba.Ba.metrics;
+      decisions = Array.make n None;
+      decided_bit = None;
+      agreed = 0;
+      correct = ba.Ba.correct;
+      validity_respected = true;
+    }
+  | Some gstring ->
+    (* Phase 3: common-coin binary agreement, the coin stream seeded by
+       gstring's entropy. *)
+    let coin_seed = Hash64.hash_string ~seed:0x636f696eL gstring in
+    let corrupted = Fba_sim.Metrics.corrupted ba.Ba.metrics in
+    let t_byz = Bitset.cardinal corrupted in
+    let t_assumed = min (max 1 t_byz) (((n - 1) / 5) - 1) in
+    let t_assumed = max 1 t_assumed in
+    let cfg = RBA.make_config ~n ~t_assumed ~coin:(`Common coin_seed) ~inputs () in
+    let adversary =
+      if split_attack then RBA.split_vote_adversary cfg ~corrupted
+      else Fba_sim.Sync_engine.null_adversary ~corrupted
+    in
+    let res =
+      RBA_engine.run ~config:cfg ~n ~seed:(Int64.add seed 3L) ~adversary ~mode:`Rushing
+        ~max_rounds:(RBA.max_engine_rounds cfg) ()
+    in
+    let decisions = res.Fba_sim.Sync_engine.outputs in
+    (* The common decision: plurality among correct nodes. *)
+    let zero = ref 0 and one = ref 0 in
+    Array.iteri
+      (fun i o ->
+        if not (Bitset.mem corrupted i) then
+          match o with
+          | Some "1" -> incr one
+          | Some "0" -> incr zero
+          | _ -> ())
+      decisions;
+    let decided_bit = if !one = 0 && !zero = 0 then None else Some (!one >= !zero) in
+    let agreed = max !one !zero in
+    let validity_respected =
+      match decided_bit with
+      | None -> true
+      | Some b ->
+        (* Some correct node must have had b as its input. *)
+        let witness = ref false in
+        for i = 0 to n - 1 do
+          if (not (Bitset.mem corrupted i)) && inputs i = b then witness := true
+        done;
+        !witness
+    in
+    {
+      metrics = Fba_sim.Metrics.merge_phases ba.Ba.metrics res.Fba_sim.Sync_engine.metrics;
+      decisions;
+      decided_bit;
+      agreed;
+      correct = ba.Ba.correct;
+      validity_respected;
+    }

@@ -1,0 +1,40 @@
+(** Binary Byzantine Agreement on top of BA's random string.
+
+    The paper adopts the random-string output notion ("the output is a
+    string of O(log n) random bits the adversary cannot bias too much")
+    but also recalls the classical bit-output notion ("the output is
+    required to be the input of one of the correct nodes"). This module
+    provides the classical reduction from the former to the latter:
+
+    + run BA (aeba + AER) to agree on gstring;
+    + use gstring as the seed of a common coin — since ≥ 2/3+ε of its
+      bits are uniform and it is known to every correct node, hashing
+      it per round yields shared unpredictable coin flips;
+    + run the common-coin randomized binary agreement on the actual
+      bit inputs, which then terminates in O(1) expected rounds.
+
+    Everything stays poly-logarithmic per node except the binary
+    phase's broadcasts (Θ(n) single-bit messages per node per round for
+    the textbook variant used here). *)
+
+type result = {
+  metrics : Fba_sim.Metrics.t;  (** all three phases *)
+  decisions : string option array;  (** ["0"]/["1"] per node *)
+  decided_bit : bool option;  (** the common decision, if unanimous *)
+  agreed : int;  (** correct nodes sharing the common decision *)
+  correct : int;
+  validity_respected : bool;
+      (** true unless the decision differs from every correct input *)
+}
+
+val run_sync :
+  ?split_attack:bool ->
+  inputs:(int -> bool) ->
+  n:int ->
+  seed:int64 ->
+  byzantine_fraction:float ->
+  unit ->
+  result
+(** [split_attack] (default true) runs the binary phase under the
+    vote-splitting adversary — the case private coins struggle with and
+    the gstring-derived coin neutralizes. *)

@@ -1,0 +1,32 @@
+type t =
+  | Push of string
+  | Poll of { s : string; r : int64 }
+  | Pull of { s : string; r : int64 }
+  | Fw1 of { x : int; s : string; r : int64; w : int }
+  | Fw2 of { x : int; s : string; r : int64 }
+  | Answer of string
+
+let bits params t =
+  let id = Params.id_bits params in
+  let header = 8 + (2 * id) in
+  let str s = 8 * String.length s in
+  let payload =
+    match t with
+    | Push s -> str s
+    | Poll { s; _ } | Pull { s; _ } -> str s + Params.label_bits
+    | Fw1 { s; _ } -> str s + Params.label_bits + (2 * id)
+    | Fw2 { s; _ } -> str s + Params.label_bits + id
+    | Answer s -> str s
+  in
+  header + payload
+
+let pp_hex fmt s =
+  String.iter (fun c -> Format.fprintf fmt "%02x" (Char.code c)) s
+
+let pp fmt = function
+  | Push s -> Format.fprintf fmt "Push(%a)" pp_hex s
+  | Poll { s; r } -> Format.fprintf fmt "Poll(%a, %Ld)" pp_hex s r
+  | Pull { s; r } -> Format.fprintf fmt "Pull(%a, %Ld)" pp_hex s r
+  | Fw1 { x; s; r; w } -> Format.fprintf fmt "Fw1(x=%d, %a, %Ld, w=%d)" x pp_hex s r w
+  | Fw2 { x; s; r } -> Format.fprintf fmt "Fw2(x=%d, %a, %Ld)" x pp_hex s r
+  | Answer s -> Format.fprintf fmt "Answer(%a)" pp_hex s

@@ -1,0 +1,28 @@
+(** AER wire messages (Section 3.1, Algorithms 1–3).
+
+    The pull phase routes a request from the requester [x] through its
+    Pull Quorum H(s, x), then through the Pull Quorums H(s, w) of every
+    poll-list member w ∈ J(x, r), and back:
+
+    {v
+    x --Poll(s,r)--> J(x,r)                        (direct, authoritative)
+    x --Pull(s,r)--> H(s,x)                        (proxies)
+    y ∈ H(s,x) --Fw1(x,s,r,w)--> H(s,w)            (first forwarding hop)
+    z ∈ H(s,w) --Fw2(x,s,r)--> w                   (majority-filtered)
+    w --Answer(s)--> x                             (if Polled and majority)
+    v} *)
+
+type t =
+  | Push of string  (** push-phase diffusion of a candidate *)
+  | Poll of { s : string; r : int64 }
+  | Pull of { s : string; r : int64 }
+  | Fw1 of { x : int; s : string; r : int64; w : int }
+  | Fw2 of { x : int; s : string; r : int64 }
+  | Answer of string
+
+val bits : Params.t -> t -> int
+(** Wire size in bits: an 8-bit tag, source and destination headers of
+    ⌈log₂ n⌉ bits each, plus the payload (strings cost 8 bits per
+    byte, labels {!Params.label_bits}, embedded identities ⌈log₂ n⌉). *)
+
+val pp : Format.formatter -> t -> unit

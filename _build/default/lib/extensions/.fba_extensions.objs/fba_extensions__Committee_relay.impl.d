@@ -1,0 +1,1 @@
+lib/extensions/committee_relay.ml: Array Fba_samplers Fba_sim Fba_stdx Format Hash64 Hashtbl Intx List Option

@@ -1,0 +1,1 @@
+lib/extensions/committee_relay.mli: Fba_sim

@@ -1,0 +1,146 @@
+open Fba_stdx
+
+type config = {
+  n : int;
+  members : int array;
+  slot_of : (int, int) Hashtbl.t;  (* node id -> committee slot *)
+  relays : int;
+  initial : int -> string;
+  str_bits : int;
+}
+
+let make_config ?(committee_factor = 2.0) ?relays ~n ~seed ~initial ~str_bits () =
+  if n < 2 then invalid_arg "Committee_relay.make_config: n < 2";
+  if str_bits < 1 then invalid_arg "Committee_relay.make_config: str_bits < 1";
+  if committee_factor <= 0.0 then
+    invalid_arg "Committee_relay.make_config: committee_factor <= 0";
+  let size =
+    Intx.clamp ~lo:1 ~hi:n
+      (int_of_float (ceil (committee_factor *. sqrt (float_of_int n))))
+  in
+  let sampler =
+    Fba_samplers.Sampler.create
+      ~seed:(Hash64.finish (Hash64.add_int (Hash64.init seed) 0x5e1))
+      ~n ~d:size
+  in
+  let members = Fba_samplers.Sampler.quorum_xr sampler ~x:0 ~r:0L in
+  let slot_of = Hashtbl.create size in
+  Array.iteri (fun slot id -> if not (Hashtbl.mem slot_of id) then Hashtbl.add slot_of id slot) members;
+  let relays =
+    match relays with
+    | Some k when k >= 1 && k <= size -> k
+    | Some _ -> invalid_arg "Committee_relay.make_config: relays out of range"
+    | None -> min size ((2 * Intx.ceil_log2 (max 2 n)) + 1)
+  in
+  { n; members; slot_of; relays; initial; str_bits }
+
+let committee cfg = cfg.members
+
+(* Relay j of node x: a deterministic stride through the committee, so
+   a relay can enumerate its assigned nodes without any request
+   traffic. *)
+let relay_slot cfg ~x ~j = (x + 1 + (j * ((Array.length cfg.members / cfg.relays) + 1)))
+                           mod Array.length cfg.members
+
+let is_relay_of cfg ~slot ~x =
+  let rec loop j = j < cfg.relays && (relay_slot cfg ~x ~j = slot || loop (j + 1)) in
+  loop 0
+
+type msg = Exchange of string | Deliver of string
+
+type tally = { mutable seen : int list; counts : (string, int) Hashtbl.t }
+
+let fresh_tally () = { seen = []; counts = Hashtbl.create 8 }
+
+let tally_add t ~src v =
+  if not (List.mem src t.seen) then begin
+    t.seen <- src :: t.seen;
+    Hashtbl.replace t.counts v (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts v))
+  end
+
+let tally_plurality t =
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (bv, bc) when c < bc || (c = bc && v >= bv) -> Some (bv, bc)
+      | _ -> Some (v, c))
+    t.counts None
+
+type state = {
+  ctx : Fba_sim.Ctx.t;
+  slot : int option;  (* my committee slot, if a member *)
+  exchange_tally : tally;
+  deliver_tally : tally;
+  mutable result : string option;
+}
+
+let name = "committee-relay"
+
+let init cfg ctx =
+  let id = ctx.Fba_sim.Ctx.id in
+  let slot = Hashtbl.find_opt cfg.slot_of id in
+  let st = { ctx; slot; exchange_tally = fresh_tally (); deliver_tally = fresh_tally (); result = None } in
+  let outs =
+    match slot with
+    | None -> []
+    | Some _ ->
+      let v = cfg.initial id in
+      tally_add st.exchange_tally ~src:id v;
+      Array.to_list
+        (Array.map (fun dst -> (dst, Exchange v)) cfg.members)
+      |> List.filter (fun (dst, _) -> dst <> id)
+  in
+  (st, outs)
+
+let on_round cfg st ~round =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  match round with
+  | 2 ->
+    (* Exchanges arrived during round 1: members adopt the committee
+       majority and push it to their assigned nodes. *)
+    (match st.slot with
+    | None -> []
+    | Some slot ->
+      let v =
+        match tally_plurality st.exchange_tally with
+        | Some (v, _) -> v
+        | None -> cfg.initial id
+      in
+      let outs = ref [] in
+      for x = 0 to cfg.n - 1 do
+        if is_relay_of cfg ~slot ~x then outs := (x, Deliver v) :: !outs
+      done;
+      !outs)
+  | 4 ->
+    if st.result = None then
+      st.result <-
+        (match tally_plurality st.deliver_tally with
+        | Some (v, _) -> Some v
+        | None -> Some (cfg.initial id));
+    []
+  | _ -> []
+
+let on_receive cfg st ~round:_ ~src m =
+  let id = st.ctx.Fba_sim.Ctx.id in
+  (match m with
+  | Exchange v ->
+    if st.slot <> None && Hashtbl.mem cfg.slot_of src then
+      tally_add st.exchange_tally ~src v
+  | Deliver v ->
+    (match Hashtbl.find_opt cfg.slot_of src with
+    | Some slot when is_relay_of cfg ~slot ~x:id -> tally_add st.deliver_tally ~src v
+    | _ -> ()));
+  []
+
+let output st = st.result
+
+let msg_bits cfg m =
+  let id_bits = Intx.ceil_log2 (max 2 cfg.n) in
+  let header = 8 + (2 * id_bits) in
+  match m with Exchange _ | Deliver _ -> header + cfg.str_bits
+
+let pp_msg fmt = function
+  | Exchange _ -> Format.fprintf fmt "Exchange"
+  | Deliver _ -> Format.fprintf fmt "Deliver"
+
+let total_rounds = 5

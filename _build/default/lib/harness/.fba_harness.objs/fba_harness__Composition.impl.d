@@ -1,0 +1,1 @@
+lib/harness/composition.ml: Array Ba Bitset Fba_baselines Fba_core Fba_sim Fba_stdx Printf String

@@ -1,0 +1,1 @@
+lib/harness/composition.mli: Fba_core

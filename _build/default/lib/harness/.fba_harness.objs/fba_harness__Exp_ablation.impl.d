@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Aer Array Bitset Bytes Fba_adversary Fba_core Fba_samplers Fba_sim Fba_stdx Hash64 Intx List Obs Params Printf Prng Runner Scenario Stats Table

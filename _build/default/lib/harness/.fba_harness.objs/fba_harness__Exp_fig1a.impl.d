@@ -1,0 +1,1 @@
+lib/harness/exp_fig1a.ml: Array Fba_adversary Fba_core Fba_stdx Hashtbl List Obs Printf Runner Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_fig1b.ml: Array Bitset Composition Fba_baselines Fba_core Fba_sim Fba_stdx Hash64 Hashtbl Int64 List Obs Option Printf Prng Runner Stats String Table

@@ -1,0 +1,1 @@
+lib/harness/exp_lemmas.ml: Array Fba_adversary Fba_core Fba_stdx List Obs Option Params Printf Runner Scenario Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_samplers.ml: Affine_sampler Array Bitset Bytes Digraph Fba_core Fba_samplers Fba_stdx Int64 Intx List Params Printf Prng Property_check Sampler Stats Table

@@ -1,0 +1,1 @@
+lib/harness/obs.ml: Array Bitset Fba_sim Fba_stdx Hashtbl List Option Stats

@@ -1,0 +1,1 @@
+lib/harness/obs.mli: Fba_sim

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Aer Array Fba_baselines Fba_core Fba_extensions Fba_sim Fba_stdx Hash64 Int64 List Obs Params Prng Scenario String

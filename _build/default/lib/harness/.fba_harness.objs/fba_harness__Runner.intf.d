@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Fba_adversary Fba_core Fba_sim Obs Scenario

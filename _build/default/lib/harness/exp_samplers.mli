@@ -1,0 +1,13 @@
+(** Experiment [samplers] — validate the sampler properties the
+    analysis rests on (Lemma 1, Lemma 2 / Section 4.1 / Figure 3).
+
+    - Lemma 1: the (θ,δ)-sampler behaviour of I/H — for any candidate
+      string, only a vanishing fraction of quorums lacks a good
+      majority, and no node is overloaded (bounded inverse degree);
+    - Lemma 2 Property 1: few poll lists have a good-node minority;
+    - Lemma 2 Property 2: the boundary-expansion bound |∂L| > (2/3)d|L|
+      of the random-digraph model, checked for random and for
+      greedily-adversarial ("cornering") label sets L up to the
+      n/log n size the lemma covers. *)
+
+val run : ?full:bool -> out:out_channel -> unit -> unit

@@ -1,0 +1,187 @@
+open Fba_stdx
+open Fba_core
+module Aer_sync = Fba_sim.Sync_engine.Make (Aer)
+module Aer_async = Fba_sim.Async_engine.Make (Aer)
+module Grid = Fba_baselines.Grid_aetoe
+module Grid_sync = Fba_sim.Sync_engine.Make (Grid)
+module Naive = Fba_baselines.Naive_aetoe
+module Naive_sync = Fba_sim.Sync_engine.Make (Naive)
+
+type aer_setup = {
+  byzantine_fraction : float;
+  knowledgeable_fraction : float;
+  junk : Scenario.junk;
+  pull_filter : int option;
+  d_override : (int * int * int) option;
+  gstring_bits : int option;
+  per_run_miss : float;
+}
+
+let default_setup =
+  {
+    byzantine_fraction = 0.10;
+    knowledgeable_fraction = 0.85;
+    junk = Scenario.Junk_unique;
+    pull_filter = None;
+    d_override = None;
+    gstring_bits = None;
+    per_run_miss = 0.05;
+  }
+
+let scenario_of_setup setup ~n ~seed =
+  let params =
+    match setup.d_override with
+    | Some (d_i, d_h, d_j) ->
+      Params.make ~d_i ~d_h ~d_j ?gstring_bits:setup.gstring_bits
+        ?pull_filter:setup.pull_filter ~n ~seed ()
+    | None ->
+      Params.make_for ~per_run_miss:setup.per_run_miss ?gstring_bits:setup.gstring_bits
+        ?pull_filter:setup.pull_filter ~n ~seed
+        ~byzantine_fraction:setup.byzantine_fraction
+        ~knowledgeable_fraction:setup.knowledgeable_fraction ()
+  in
+  let rng = Prng.create (Hash64.finish (Hash64.add_string (Hash64.init seed) "workload")) in
+  Scenario.make ~junk:setup.junk ~params ~rng ~byzantine_fraction:setup.byzantine_fraction
+    ~knowledgeable_fraction:setup.knowledgeable_fraction ()
+
+type aer_run = {
+  scenario : Scenario.t;
+  obs : Obs.observation;
+  push_max_messages : int;
+  candidate_sum : int;
+  candidate_max : int;
+  gstring_missing : int;
+}
+
+let aer_gauges (sc : Scenario.t) states =
+  let push_max = ref 0 and cand_sum = ref 0 and cand_max = ref 0 and missing = ref 0 in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Some st when Scenario.is_correct sc i ->
+        push_max := max !push_max (Aer.push_messages_sent st);
+        cand_sum := !cand_sum + Aer.candidate_count st;
+        cand_max := max !cand_max (Aer.candidate_count st);
+        if not (List.mem sc.Scenario.gstring (Aer.candidates st)) then incr missing
+      | _ -> ())
+    states;
+  (!push_max, !cand_sum, !cand_max, !missing)
+
+let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ~adversary (sc : Scenario.t) =
+  let cfg = Aer.config_of_scenario sc in
+  let n = Scenario.(sc.params.Params.n) in
+  (* Re-polling nodes wake up after repoll_timeout idle rounds; the
+     quiescence cutoff must not fire before then. *)
+  let quiet_limit =
+    if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+      Params.(sc.Scenario.params.repoll_timeout) + 2
+    else 3
+  in
+  let res =
+    Aer_sync.run ~quiet_limit ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary:(adversary sc) ~mode ~max_rounds ()
+  in
+  let obs =
+    Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
+      ~reference:(Some sc.Scenario.gstring)
+  in
+  let push_max_messages, candidate_sum, candidate_max, gstring_missing =
+    aer_gauges sc res.Fba_sim.Sync_engine.states
+  in
+  { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing }
+
+let run_aer_async ?(max_time = 4000) ~adversary (sc : Scenario.t) =
+  let cfg = Aer.config_of_scenario sc in
+  let n = Scenario.(sc.params.Params.n) in
+  let res =
+    Aer_async.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary:(adversary sc) ~max_time ()
+  in
+  let obs =
+    Obs.of_metrics ~metrics:res.Fba_sim.Async_engine.metrics
+      ~outputs:res.Fba_sim.Async_engine.outputs ~reference:(Some sc.Scenario.gstring)
+  in
+  let push_max_messages, candidate_sum, candidate_max, gstring_missing =
+    aer_gauges sc res.Fba_sim.Async_engine.states
+  in
+  ( { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing },
+    res.Fba_sim.Async_engine.normalized_rounds )
+
+let str_bits (sc : Scenario.t) = 8 * String.length sc.Scenario.gstring
+
+let run_grid (sc : Scenario.t) =
+  let n = Scenario.(sc.params.Params.n) in
+  let cfg =
+    Grid.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc)
+  in
+  let res =
+    Grid_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
+      ~mode:`Rushing ~max_rounds:(Grid.total_rounds + 2) ()
+  in
+  Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
+    ~reference:(Some sc.Scenario.gstring)
+
+let run_naive ?(flood = false) (sc : Scenario.t) =
+  let n = Scenario.(sc.params.Params.n) in
+  let cfg =
+    Naive.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc) ()
+  in
+  let adversary =
+    if flood then Naive.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
+    else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
+  in
+  let res =
+    Naive_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed ~adversary
+      ~mode:`Rushing ~max_rounds:(Naive.total_rounds + 2) ()
+  in
+  let worst_replies = ref 0 in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Some st when Scenario.is_correct sc i ->
+        worst_replies := max !worst_replies (Naive.queries_answered st)
+      | _ -> ())
+    res.Fba_sim.Sync_engine.states;
+  ( Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics
+      ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring),
+    !worst_replies )
+
+module Ks09 = Fba_baselines.Ks09_aetoe
+module Ks09_sync = Fba_sim.Sync_engine.Make (Ks09)
+
+let run_ks09 ?(flood = false) (sc : Scenario.t) =
+  let n = Scenario.(sc.params.Params.n) in
+  let cfg =
+    Ks09.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc) ()
+  in
+  let adversary =
+    if flood then Ks09.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
+    else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
+  in
+  let res =
+    Ks09_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed ~adversary
+      ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
+  in
+  Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
+    ~reference:(Some sc.Scenario.gstring)
+
+module Relay = Fba_extensions.Committee_relay
+module Relay_sync = Fba_sim.Sync_engine.Make (Relay)
+
+let run_relay (sc : Scenario.t) =
+  let n = Scenario.(sc.params.Params.n) in
+  let cfg =
+    Relay.make_config ~n ~seed:sc.Scenario.params.Params.seed
+      ~initial:(fun i -> sc.Scenario.initial.(i))
+      ~str_bits:(str_bits sc) ()
+  in
+  let res =
+    Relay_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
+      ~mode:`Rushing ~max_rounds:(Relay.total_rounds + 2) ()
+  in
+  Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
+    ~reference:(Some sc.Scenario.gstring)
+
+let seeds k = List.init k (fun i -> Int64.of_int ((1013 * (i + 1)) + 7))

@@ -1,0 +1,64 @@
+(** Execution helpers shared by all experiments: build a workload,
+    run a protocol under an adversary, reduce to {!Obs.observation}
+    plus protocol-specific gauges. *)
+
+open Fba_core
+
+type aer_setup = {
+  byzantine_fraction : float;
+  knowledgeable_fraction : float;
+  junk : Scenario.junk;
+  pull_filter : int option;  (** [None] = the paper's log² n default *)
+  d_override : (int * int * int) option;  (** (d_i, d_h, d_j) if forced *)
+  gstring_bits : int option;
+  per_run_miss : float;
+}
+
+val default_setup : aer_setup
+(** byz 0.10, knowledgeable 0.85, unique junk, defaults elsewhere. *)
+
+val scenario_of_setup : aer_setup -> n:int -> seed:int64 -> Scenario.t
+(** Auto-sizes quorums via {!Params.make_for} unless [d_override]. *)
+
+type aer_run = {
+  scenario : Scenario.t;
+  obs : Obs.observation;
+  push_max_messages : int;  (** Lemma 3 gauge: worst correct push fan-out *)
+  candidate_sum : int;  (** Lemma 4 gauge: Σ|L_x| over correct nodes *)
+  candidate_max : int;  (** load-balance gauge: the largest candidate list *)
+  gstring_missing : int;  (** Lemma 5 gauge: correct nodes whose list lacks gstring *)
+}
+
+val run_aer_sync :
+  ?mode:Fba_sim.Sync_engine.mode ->
+  ?max_rounds:int ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
+  Scenario.t ->
+  aer_run
+
+val run_aer_async :
+  ?max_time:int ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.async) ->
+  Scenario.t ->
+  aer_run * float
+(** Also returns the normalized round count (time / max_delay). *)
+
+val run_grid : Scenario.t -> Obs.observation
+(** Grid baseline on the same workload (silent adversary — its
+    vulnerability axis is load, not safety). *)
+
+val run_naive : ?flood:bool -> Scenario.t -> Obs.observation * int
+(** Naive baseline; also returns the worst per-node replies-sent count.
+    [flood] (default false) turns on the query-flooding adversary. *)
+
+val run_ks09 : ?flood:bool -> Scenario.t -> Obs.observation
+(** The [KS09]-shaped random-push baseline; [flood] aims every
+    Byzantine push budget at a few victims (receive-side hot spot). *)
+
+val run_relay : Scenario.t -> Obs.observation
+(** The committee-relay extension ({!Fba_extensions.Committee_relay})
+    on the same workload — the load-balance/communication trade-off
+    point of the paper's concluding open question. *)
+
+val seeds : int -> int64 list
+(** [seeds k] is [k] fixed distinct seeds, stable across runs. *)

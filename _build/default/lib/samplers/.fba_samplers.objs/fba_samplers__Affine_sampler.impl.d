@@ -1,0 +1,1 @@
+lib/samplers/affine_sampler.ml: Array Bitset Fba_stdx Hash64 Sampler

@@ -1,0 +1,1 @@
+lib/samplers/affine_sampler.mli:

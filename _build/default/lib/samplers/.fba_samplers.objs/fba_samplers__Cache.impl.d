@@ -1,0 +1,1 @@
+lib/samplers/cache.ml: Array Hashtbl Sampler

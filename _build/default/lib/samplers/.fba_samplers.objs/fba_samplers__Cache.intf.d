@@ -1,0 +1,1 @@
+lib/samplers/cache.mli: Sampler

@@ -1,0 +1,1 @@
+lib/samplers/digraph.ml: Array Bitset Fba_stdx Hashtbl List Prng Sampler

@@ -1,0 +1,1 @@
+lib/samplers/digraph.mli: Fba_stdx Prng Sampler

@@ -1,0 +1,1 @@
+lib/samplers/property_check.ml: Array Bitset Bytes Char Fba_stdx List Prng Push_plan Sampler

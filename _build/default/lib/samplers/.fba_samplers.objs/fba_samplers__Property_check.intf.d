@@ -1,0 +1,1 @@
+lib/samplers/property_check.mli: Bitset Fba_stdx Prng Sampler

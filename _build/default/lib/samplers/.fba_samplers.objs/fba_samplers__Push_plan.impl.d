@@ -1,0 +1,1 @@
+lib/samplers/push_plan.ml: Array Hashtbl List Sampler

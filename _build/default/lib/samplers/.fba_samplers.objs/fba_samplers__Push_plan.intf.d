@@ -1,0 +1,1 @@
+lib/samplers/push_plan.mli: Sampler

@@ -1,0 +1,1 @@
+lib/samplers/sampler.ml: Array Fba_stdx Hash64 Intx

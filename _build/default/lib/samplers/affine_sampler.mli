@@ -1,0 +1,30 @@
+(** A deliberately naive {e deterministic} quorum construction, for the
+    negative half of Section 2.2's argument.
+
+    The paper motivates samplers by eliminating the two naive designs:
+    "if nodes choose deterministically the nodes they contact, either
+    there are a linear number of them ... or there are few enough for
+    the adversary to corrupt a majority". This module is that second
+    strawman made concrete: quorum(s, x) is an arithmetic progression
+    [{ a·(h(s)+x) + b·k mod n | k < d }] — structured, cheap, and
+    catastrophically seizable: all quorums are unions of O(n/gcd(b,n))
+    residue classes, so corrupting one stride's worth of nodes corrupts
+    a majority of {e many} quorums at once. {!seizable_fraction}
+    measures it; the experiment in [Exp_samplers] contrasts it with the
+    hash sampler under equal corruption budgets. *)
+
+type t
+
+val create : n:int -> d:int -> stride:int -> t
+(** Raises [Invalid_argument] unless [1 <= d <= n] and
+    [1 <= stride < n]. *)
+
+val quorum_sx : t -> s:string -> x:int -> int array
+(** d distinct members (the progression; wraps modulo n). *)
+
+val seizable_fraction : t -> budget:int -> float
+(** The fraction of all n quorums (over a fixed s) that an adversary
+    corrupting its best [budget] nodes controls a strict majority of —
+    computed by greedily corrupting the most quorum-covering nodes.
+    For the hash sampler the analogous number is ~0 until the budget
+    nears n/2; here it grows linearly almost immediately. *)

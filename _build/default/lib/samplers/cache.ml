@@ -1,0 +1,34 @@
+type t = {
+  sampler : Sampler.t;
+  sx : (string * int, int array) Hashtbl.t;
+  xr : (int * int64, int array) Hashtbl.t;
+}
+
+let create sampler = { sampler; sx = Hashtbl.create 4096; xr = Hashtbl.create 4096 }
+
+let sampler t = t.sampler
+
+let quorum_sx t ~s ~x =
+  let key = (s, x) in
+  match Hashtbl.find_opt t.sx key with
+  | Some q -> q
+  | None ->
+    let q = Sampler.quorum_sx t.sampler ~s ~x in
+    Hashtbl.add t.sx key q;
+    q
+
+let quorum_xr t ~x ~r =
+  let key = (x, r) in
+  match Hashtbl.find_opt t.xr key with
+  | Some q -> q
+  | None ->
+    let q = Sampler.quorum_xr t.sampler ~x ~r in
+    Hashtbl.add t.xr key q;
+    q
+
+let mem_array a y =
+  let rec loop i = i < Array.length a && (a.(i) = y || loop (i + 1)) in
+  loop 0
+
+let mem_sx t ~s ~x ~y = mem_array (quorum_sx t ~s ~x) y
+let mem_xr t ~x ~r ~y = mem_array (quorum_xr t ~x ~r) y

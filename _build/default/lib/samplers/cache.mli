@@ -1,0 +1,25 @@
+(** Memoized quorum evaluation.
+
+    Protocol handlers check quorum membership (e.g. "is the sender in
+    H(s, x)?") millions of times per execution, but over a small set of
+    distinct keys: one (s, x) per string and node, one (x, r) per issued
+    poll. Caching the quorum arrays turns each check into a d-element
+    scan. Purely an evaluation cache — results are identical to calling
+    {!Sampler} directly. *)
+
+type t
+
+val create : Sampler.t -> t
+
+val sampler : t -> Sampler.t
+
+val quorum_sx : t -> s:string -> x:int -> int array
+(** Cached {!Sampler.quorum_sx}. The returned array is shared; callers
+    must not mutate it. *)
+
+val mem_sx : t -> s:string -> x:int -> y:int -> bool
+
+val quorum_xr : t -> x:int -> r:int64 -> int array
+(** Cached {!Sampler.quorum_xr}; same sharing caveat. *)
+
+val mem_xr : t -> x:int -> r:int64 -> y:int -> bool

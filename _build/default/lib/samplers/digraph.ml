@@ -1,0 +1,81 @@
+open Fba_stdx
+
+type labeled = { node : int; label : int64 }
+
+let check_distinct_nodes l =
+  let seen = Hashtbl.create (Array.length l) in
+  Array.iter
+    (fun { node; _ } ->
+      if Hashtbl.mem seen node then
+        invalid_arg "Digraph: at most one label per node";
+      Hashtbl.add seen node ())
+    l
+
+let boundary_ratio sampler l =
+  if Array.length l = 0 then invalid_arg "Digraph.boundary_ratio: empty L";
+  check_distinct_nodes l;
+  let n = Sampler.n sampler in
+  let in_lstar = Bitset.create n in
+  Array.iter (fun { node; _ } -> Bitset.add in_lstar node) l;
+  let boundary = ref 0 in
+  Array.iter
+    (fun { node; label } ->
+      let q = Sampler.quorum_xr sampler ~x:node ~r:label in
+      Array.iter (fun y -> if not (Bitset.mem in_lstar y) then incr boundary) q)
+    l;
+  float_of_int !boundary /. float_of_int (Sampler.d sampler * Array.length l)
+
+let random_l sampler ~rng ~size =
+  let n = Sampler.n sampler in
+  if size < 1 || size > n then invalid_arg "Digraph.random_l: bad size";
+  let nodes = Prng.sample_without_replacement rng ~n ~k:size in
+  Array.map (fun node -> { node; label = Prng.int64 rng }) nodes
+
+let greedy_adversarial_l sampler ~rng ~size ~labels_per_step =
+  let n = Sampler.n sampler in
+  if size < 1 || size > n then invalid_arg "Digraph.greedy_adversarial_l: bad size";
+  if labels_per_step < 1 then invalid_arg "Digraph.greedy_adversarial_l: bad labels_per_step";
+  let in_lstar = Bitset.create n in
+  (* coverage.(y) = how many edges of the current L point at y; nodes
+     with high coverage are the best candidates to absorb next, since
+     their incoming edges stop counting toward the boundary. *)
+  let coverage = Array.make n 0 in
+  let chosen = ref [] in
+  let add_vertex node label =
+    Bitset.add in_lstar node;
+    chosen := { node; label } :: !chosen;
+    Array.iter
+      (fun y -> coverage.(y) <- coverage.(y) + 1)
+      (Sampler.quorum_xr sampler ~x:node ~r:label)
+  in
+  (* Seed with a random vertex. *)
+  add_vertex (Prng.int rng n) (Prng.int64 rng);
+  for _ = 2 to size do
+    (* Candidate nodes: the most-covered nodes not yet in L?. *)
+    let best_node = ref (-1) and best_cov = ref (-1) in
+    for y = 0 to n - 1 do
+      if (not (Bitset.mem in_lstar y)) && coverage.(y) > !best_cov then begin
+        best_cov := coverage.(y);
+        best_node := y
+      end
+    done;
+    let node = !best_node in
+    (* Among random labels, keep the one whose poll list points most
+       inside the current L? (minimizing new boundary edges). *)
+    let best_label = ref (Prng.int64 rng) and best_inside = ref (-1) in
+    for _ = 1 to labels_per_step do
+      let r = Prng.int64 rng in
+      let q = Sampler.quorum_xr sampler ~x:node ~r in
+      let inside =
+        Array.fold_left
+          (fun acc y -> if Bitset.mem in_lstar y || y = node then acc + 1 else acc)
+          0 q
+      in
+      if inside > !best_inside then begin
+        best_inside := inside;
+        best_label := r
+      end
+    done;
+    add_vertex node !best_label
+  done;
+  Array.of_list (List.rev !chosen)

@@ -1,0 +1,37 @@
+(** The random-digraph model of Section 4.1 (Figure 3), used to
+    validate Lemma 2 Property 2 empirically.
+
+    Vertices are [n] unlabeled nodes plus labeled vertices (x, r); a
+    labeled vertex has d out-edges, its poll list J(x, r). For a set L
+    of labeled vertices with at most one label per node,
+    [∂L = { edges from L into [n] \ L? }] where
+    [L? = { x | some (x, r) ∈ L }]. Property 2 says every such L of
+    size up to n/log n has [|∂L| > (2/3)·d·|L|] — a boundary-expansion
+    (isoperimetric) bound preventing the adversary from "cornering" a
+    set of nodes whose poll lists stay inside the set.
+
+    We check the bound for uniformly random L and for a greedy
+    adversarial L that actively tries to minimize the boundary — the
+    strongest polynomial-effort attack on a public hash. *)
+
+open Fba_stdx
+
+type labeled = { node : int; label : int64 }
+(** A labeled vertex (x, r) ∈ [n] × R. *)
+
+val boundary_ratio : Sampler.t -> labeled array -> float
+(** [boundary_ratio sampler l] is |∂L| / (d·|L|). Property 2 demands
+    this exceed 2/3. Requires at most one entry per node; raises
+    [Invalid_argument] otherwise or on the empty array. Edge
+    multiplicity counts, as in the paper's model. *)
+
+val random_l : Sampler.t -> rng:Prng.t -> size:int -> labeled array
+(** [size] distinct nodes with uniformly random labels. *)
+
+val greedy_adversarial_l :
+  Sampler.t -> rng:Prng.t -> size:int -> labels_per_step:int -> labeled array
+(** Greedy cornering: grow L one vertex at a time, each step trying
+    [labels_per_step] random labels on the candidate nodes most covered
+    by the current poll lists, keeping the pair that minimizes the
+    boundary increase. This is the attack shape of Lemma 6 (chains of
+    overloaded nodes). *)

@@ -1,0 +1,97 @@
+open Fba_stdx
+
+let has_good_majority ~good quorum =
+  let good_count = Bitset.count_in good quorum in
+  good_count >= Sampler.majority_threshold (Array.length quorum)
+
+let bad_quorum_fraction sampler ~good ~s =
+  let n = Sampler.n sampler in
+  let bad = ref 0 in
+  for x = 0 to n - 1 do
+    let q = Sampler.quorum_sx sampler ~s ~x in
+    if not (has_good_majority ~good q) then incr bad
+  done;
+  float_of_int !bad /. float_of_int n
+
+let property1_estimate sampler ~good ~samples ~rng =
+  if samples <= 0 then invalid_arg "Property_check.property1_estimate: samples <= 0";
+  let n = Sampler.n sampler in
+  let bad = ref 0 in
+  for _ = 1 to samples do
+    let x = Prng.int rng n in
+    let r = Prng.int64 rng in
+    let q = Sampler.quorum_xr sampler ~x ~r in
+    if not (has_good_majority ~good q) then incr bad
+  done;
+  float_of_int !bad /. float_of_int samples
+
+let random_string rng bits =
+  Bytes.unsafe_to_string (Prng.bits rng bits)
+
+let worst_string_search sampler ~good ~rng ~tries ~bits =
+  if tries <= 0 then invalid_arg "Property_check.worst_string_search: tries <= 0";
+  let best_s = ref (random_string rng bits) in
+  let best_frac = ref (bad_quorum_fraction sampler ~good ~s:!best_s) in
+  for _ = 2 to tries do
+    let s = random_string rng bits in
+    let frac = bad_quorum_fraction sampler ~good ~s in
+    if frac > !best_frac then begin
+      best_frac := frac;
+      best_s := s
+    end
+  done;
+  (!best_s, !best_frac)
+
+let with_completion ~prefix ~free_bits rng =
+  let b = Bytes.of_string prefix in
+  let total_bits = 8 * Bytes.length b in
+  let start = max 0 (total_bits - free_bits) in
+  (* Randomize only the trailing free_bits. *)
+  let i = ref start in
+  while !i < total_bits do
+    let byte = !i / 8 and bit = !i mod 8 in
+    let mask = 1 lsl bit in
+    let v = Char.code (Bytes.get b byte) in
+    let v = if Prng.bool rng then v lor mask else v land lnot mask land 0xff in
+    Bytes.set b byte (Char.chr v);
+    incr i
+  done;
+  Bytes.unsafe_to_string b
+
+let worst_completion_search sampler ~good ~rng ~tries ~prefix ~free_bits =
+  if tries <= 0 then invalid_arg "Property_check.worst_completion_search: tries <= 0";
+  let best_s = ref (with_completion ~prefix ~free_bits rng) in
+  let best_frac = ref (bad_quorum_fraction sampler ~good ~s:!best_s) in
+  for _ = 2 to tries do
+    let s = with_completion ~prefix ~free_bits rng in
+    let frac = bad_quorum_fraction sampler ~good ~s in
+    if frac > !best_frac then begin
+      best_frac := frac;
+      best_s := s
+    end
+  done;
+  (!best_s, !best_frac)
+
+let overload_factor sampler ~strings =
+  let plan = Push_plan.create ~sampler in
+  let worst =
+    List.fold_left (fun acc s -> max acc (Push_plan.max_load plan ~s)) 0 strings
+  in
+  float_of_int worst /. float_of_int (Sampler.d sampler)
+
+let seizable_fraction sampler ~s ~budget =
+  let n = Sampler.n sampler in
+  if budget < 0 || budget > n then invalid_arg "Property_check.seizable_fraction";
+  let quorums = Array.init n (fun x -> Sampler.quorum_sx sampler ~s ~x) in
+  let coverage = Array.make n 0 in
+  Array.iter (Array.iter (fun y -> coverage.(y) <- coverage.(y) + 1)) quorums;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare coverage.(b) coverage.(a)) order;
+  let corrupted = Bitset.create n in
+  for i = 0 to budget - 1 do
+    Bitset.add corrupted order.(i)
+  done;
+  let majority = Sampler.majority_threshold (Sampler.d sampler) in
+  let seized = ref 0 in
+  Array.iter (fun q -> if Bitset.count_in corrupted q >= majority then incr seized) quorums;
+  float_of_int !seized /. float_of_int n

@@ -1,0 +1,58 @@
+(** Monte-Carlo validation of the sampler properties the analysis
+    relies on (Lemma 1, Lemma 2 Property 1, Lemmas 4–5).
+
+    The paper proves these properties exist for *some* sampler family;
+    our samplers are keyed hashes, so we measure that the properties
+    hold for the concrete instantiation — both on random inputs and
+    under adversarial search, which is exactly the power a
+    full-information adversary has against a public hash. *)
+
+open Fba_stdx
+
+val bad_quorum_fraction : Sampler.t -> good:Bitset.t -> s:string -> float
+(** Fraction of nodes [x] whose quorum [I(s, x)] does {e not} contain a
+    strict majority of [good] nodes. Lemmas 4–5 need this to be O(δ)
+    for every string. *)
+
+val property1_estimate :
+  Sampler.t -> good:Bitset.t -> samples:int -> rng:Prng.t -> float
+(** Lemma 2, Property 1: fraction of uniformly random (x, r) pairs
+    whose poll list [J(x, r)] contains a minority of [good] nodes.
+    Should be a vanishing fraction when |good| ≥ (1/2 + ε)·n. *)
+
+val worst_string_search :
+  Sampler.t -> good:Bitset.t -> rng:Prng.t -> tries:int -> bits:int -> string * float
+(** Adversarial search for the candidate string maximizing
+    {!bad_quorum_fraction}: tries [tries] random strings of [bits] bits
+    and returns the worst one with its bad fraction. Models the
+    adversary contributing 1/3 − ε of gstring's bits (Lemma 5): it can
+    pick its share after seeing the sampler, but only over polynomially
+    many candidates. *)
+
+val worst_completion_search :
+  Sampler.t ->
+  good:Bitset.t ->
+  rng:Prng.t ->
+  tries:int ->
+  prefix:string ->
+  free_bits:int ->
+  string * float
+(** Lemma 5's actual adversary model: gstring's first bits are uniform
+    and fixed (the honest 2/3+ε), the adversary chooses only the last
+    [free_bits] (its 1/3−ε share), searching for a completion whose
+    push quorums are bad somewhere. Returns the worst completion found
+    and its {!bad_quorum_fraction}. [tries] should be at most
+    2^[free_bits] to be meaningful. *)
+
+val overload_factor : Sampler.t -> strings:string list -> float
+(** Max over the given strings of the worst per-node inverse load of I,
+    divided by d. Lemma 1's non-overload condition says this stays
+    bounded by a constant [a]. *)
+
+val seizable_fraction : Sampler.t -> s:string -> budget:int -> float
+(** The fraction of quorums {I(s, x)}_x an adversary controls a strict
+    majority of after greedily corrupting the [budget] most
+    quorum-covering nodes. The positive half of Section 2.2's argument:
+    for a (θ,δ)-sampler this stays near zero until the budget
+    approaches n/2, whereas structured deterministic constructions
+    ({!Affine_sampler}) are seized almost immediately. *)

@@ -1,0 +1,38 @@
+type entry = { inverse : int array array; load : int array }
+
+type t = { sampler : Sampler.t; memo : (string, entry) Hashtbl.t }
+
+let create ~sampler = { sampler; memo = Hashtbl.create 17 }
+
+let sampler t = t.sampler
+
+let build t s =
+  let n = Sampler.n t.sampler in
+  let buckets = Array.make n [] in
+  let load = Array.make n 0 in
+  for x = 0 to n - 1 do
+    let q = Sampler.quorum_sx t.sampler ~s ~x in
+    Array.iter
+      (fun y ->
+        buckets.(y) <- x :: buckets.(y);
+        load.(y) <- load.(y) + 1)
+      q
+  done;
+  let inverse = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  { inverse; load }
+
+let entry t s =
+  match Hashtbl.find_opt t.memo s with
+  | Some e -> e
+  | None ->
+    let e = build t s in
+    Hashtbl.add t.memo s e;
+    e
+
+let targets t ~s ~y = (entry t s).inverse.(y)
+
+let quorum t ~s ~x = Sampler.quorum_sx t.sampler ~s ~x
+
+let max_load t ~s = Array.fold_left max 0 (entry t s).load
+
+let distinct_strings t = Hashtbl.length t.memo

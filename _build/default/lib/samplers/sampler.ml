@@ -1,0 +1,50 @@
+open Fba_stdx
+
+type t = { seed : int64; n : int; d : int }
+
+let create ~seed ~n ~d =
+  if d < 1 || d > n then invalid_arg "Sampler.create: need 1 <= d <= n";
+  { seed; n; d }
+
+let n t = t.n
+let d t = t.d
+
+let default_d ~n =
+  let d = 4 * Intx.ceil_log2 (max 2 n) in
+  Intx.clamp ~lo:1 ~hi:n d
+
+(* Draw the quorum for an absorbed key state: counter-mode hashing with
+   rejection of duplicates. Deterministic; terminates because d <= n. *)
+let quorum_of_state t h0 =
+  let out = Array.make t.d (-1) in
+  let mem_prefix v k =
+    let rec loop i = i < k && (out.(i) = v || loop (i + 1)) in
+    loop 0
+  in
+  let k = ref 0 in
+  let attempt = ref 0 in
+  while !k < t.d do
+    let v = Hash64.to_range (Hash64.finish (Hash64.add_int h0 !attempt)) t.n in
+    incr attempt;
+    if not (mem_prefix v !k) then begin
+      out.(!k) <- v;
+      incr k
+    end
+  done;
+  out
+
+let state_sx t ~s ~x =
+  Hash64.add_int (Hash64.add_string (Hash64.add_int (Hash64.init t.seed) 0x53) s) x
+
+let state_xr t ~x ~r =
+  Hash64.add_int64 (Hash64.add_int (Hash64.add_int (Hash64.init t.seed) 0x4a) x) r
+
+let quorum_sx t ~s ~x = quorum_of_state t (state_sx t ~s ~x)
+let quorum_xr t ~x ~r = quorum_of_state t (state_xr t ~x ~r)
+
+let mem_array a y = Array.exists (fun v -> v = y) a
+
+let mem_sx t ~s ~x ~y = mem_array (quorum_sx t ~s ~x) y
+let mem_xr t ~x ~r ~y = mem_array (quorum_xr t ~x ~r) y
+
+let majority_threshold k = (k / 2) + 1

@@ -1,0 +1,1 @@
+lib/sim/async_engine.ml: Array Bitset Ctx Envelope Fba_stdx Hashtbl Intx List Metrics Protocol

@@ -1,0 +1,1 @@
+lib/sim/ctx.ml: Fba_stdx

@@ -1,0 +1,1 @@
+lib/sim/ctx.mli: Fba_stdx

@@ -1,0 +1,1 @@
+lib/sim/sync_engine.ml: Array Bitset Ctx Envelope Fba_stdx List Metrics Protocol

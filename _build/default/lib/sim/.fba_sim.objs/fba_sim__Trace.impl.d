@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Fba_stdx Format Hashtbl List Option Protocol String

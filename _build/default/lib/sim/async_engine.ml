@@ -1,0 +1,175 @@
+(** Asynchronous engine: the adversary schedules deliveries.
+
+    The network is reliable but asynchronous (Section 2.1): every
+    message sent to a correct node is eventually delivered, with the
+    adversary choosing the order. We use the standard normalization:
+    the adversary assigns each message an integer delay in
+    [\[1, max_delay\]]; dividing the completion time by [max_delay]
+    gives the asynchronous round count that Lemma 6 and Lemma 10 refer
+    to. The adversary has full information (it observes every send at
+    the moment it happens — strictly stronger than rushing) and may
+    inject messages from corrupted identities at any time step. *)
+
+open Fba_stdx
+
+type 'msg adversary = {
+  corrupted : Bitset.t;
+  max_delay : int;  (** upper bound the engine enforces on [delay] *)
+  delay : time:int -> 'msg Envelope.t -> int;
+      (** delivery delay for a correct node's message, clamped to
+          [\[1, max_delay\]] *)
+  observe : time:int -> 'msg Envelope.t list -> unit;
+      (** full-information hook: all messages sent at [time] *)
+  inject : time:int -> ('msg Envelope.t * int) list;
+      (** messages from corrupted identities, each with its own delay *)
+}
+
+let null_adversary ~corrupted =
+  {
+    corrupted;
+    max_delay = 1;
+    delay = (fun ~time:_ _ -> 1);
+    observe = (fun ~time:_ _ -> ());
+    inject = (fun ~time:_ -> []);
+  }
+
+type 'state result = {
+  metrics : Metrics.t;
+  outputs : string option array;
+  states : 'state option array;
+  all_decided : bool;
+  time_used : int;
+  normalized_rounds : float;  (** time divided by [max_delay] *)
+}
+
+module Make (P : Protocol.S) = struct
+  type nonrec adversary = P.msg adversary
+
+  type nonrec result = P.state result
+
+  let run ?(quiet_limit = 6) ~(config : P.config) ~n ~seed ~(adversary : adversary)
+      ~max_time () =
+    if adversary.max_delay < 1 then invalid_arg "Async_engine: max_delay < 1";
+    if quiet_limit < 1 then invalid_arg "Async_engine: quiet_limit < 1";
+    let corrupted = adversary.corrupted in
+    let metrics = Metrics.create ~n ~corrupted in
+    let states : P.state option array = Array.make n None in
+    let outputs : string option array = Array.make n None in
+    let undecided = ref 0 in
+    let queue : (int, P.msg Envelope.t list ref) Hashtbl.t = Hashtbl.create 97 in
+    let pending = ref 0 in
+    let schedule ~at e =
+      (match Hashtbl.find_opt queue at with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.add queue at (ref [ e ]));
+      incr pending
+    in
+    let clamp_delay d = Intx.clamp ~lo:1 ~hi:adversary.max_delay d in
+    (* Activity counters for quiescence detection. *)
+    let sends_this_step = ref 0 in
+    let delivered_this_step = ref 0 in
+    (* Send messages produced by a correct node at [time]. *)
+    let dispatch_correct ~time src out =
+      sends_this_step := !sends_this_step + List.length out;
+      let envs =
+        List.map
+          (fun (dst, msg) ->
+            if dst < 0 || dst >= n then invalid_arg "Async_engine: destination out of range";
+            Envelope.make ~src ~dst msg)
+          out
+      in
+      if envs <> [] then adversary.observe ~time envs;
+      List.iter
+        (fun (e : P.msg Envelope.t) ->
+          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
+          schedule ~at:(time + clamp_delay (adversary.delay ~time e)) e)
+        envs
+    in
+    let dispatch_byzantine ~time pairs =
+      List.iter
+        (fun ((e : P.msg Envelope.t), d) ->
+          if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+            invalid_arg "Async_engine: adversary envelope out of range";
+          if not (Bitset.mem corrupted e.src) then
+            invalid_arg "Async_engine: adversary may only send from corrupted identities";
+          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
+          schedule ~at:(time + clamp_delay d) e)
+        pairs
+    in
+    let check_decision ~time id =
+      if outputs.(id) = None then begin
+        match states.(id) with
+        | None -> ()
+        | Some st ->
+          (match P.output st with
+          | Some v ->
+            outputs.(id) <- Some v;
+            Metrics.record_decision metrics ~id ~round:time;
+            decr undecided
+          | None -> ())
+      end
+    in
+    (* Time 0: initialization. *)
+    for id = 0 to n - 1 do
+      if not (Bitset.mem corrupted id) then begin
+        let ctx = Ctx.make ~n ~id ~seed in
+        let state, out = P.init config ctx in
+        states.(id) <- Some state;
+        incr undecided;
+        dispatch_correct ~time:0 id out
+      end
+    done;
+    dispatch_byzantine ~time:0 (adversary.inject ~time:0);
+    for id = 0 to n - 1 do
+      check_decision ~time:0 id
+    done;
+    let time = ref 0 in
+    (* Round-driven protocols (committee trees, phase king, re-polling)
+       can have steps with nothing in flight while a timer is pending,
+       so we only stop after [quiet_limit] consecutive steps with no
+       deliveries and no sends. *)
+    let quiet = ref 0 in
+    let continue = ref (!undecided > 0 && !pending > 0) in
+    while !continue && !time < max_time do
+      incr time;
+      let t = !time in
+      sends_this_step := 0;
+      delivered_this_step := 0;
+      (* Clock hook for correct nodes. *)
+      for id = 0 to n - 1 do
+        match states.(id) with
+        | None -> ()
+        | Some st -> dispatch_correct ~time:t id (P.on_round config st ~round:t)
+      done;
+      (* Deliver everything scheduled for t. *)
+      (match Hashtbl.find_opt queue t with
+      | None -> ()
+      | Some l ->
+        Hashtbl.remove queue t;
+        let deliveries = List.rev !l in
+        pending := !pending - List.length deliveries;
+        delivered_this_step := !delivered_this_step + List.length deliveries;
+        List.iter
+          (fun (e : P.msg Envelope.t) ->
+            match states.(e.Envelope.dst) with
+            | None -> ()
+            | Some st ->
+              dispatch_correct ~time:t e.dst (P.on_receive config st ~round:t ~src:e.src e.msg))
+          deliveries);
+      dispatch_byzantine ~time:t (adversary.inject ~time:t);
+      for id = 0 to n - 1 do
+        check_decision ~time:t id
+      done;
+      if !sends_this_step = 0 && !delivered_this_step = 0 then incr quiet else quiet := 0;
+      continue := !undecided > 0 && (!pending > 0 || !quiet < quiet_limit)
+    done;
+    Metrics.set_rounds metrics !time;
+    {
+      metrics;
+      outputs;
+      states;
+      all_decided = !undecided = 0;
+      time_used = !time;
+      normalized_rounds = float_of_int !time /. float_of_int adversary.max_delay;
+    }
+end

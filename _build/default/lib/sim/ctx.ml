@@ -1,0 +1,5 @@
+type t = { n : int; id : int; rng : Fba_stdx.Prng.t }
+
+let make ~n ~id ~seed =
+  let master = Fba_stdx.Prng.create seed in
+  { n; id; rng = Fba_stdx.Prng.split_at master id }

@@ -1,0 +1,13 @@
+(** Per-node execution context handed to protocol state machines. *)
+
+type t = {
+  n : int;  (** system size *)
+  id : int;  (** this node's identity in [\[0, n)] *)
+  rng : Fba_stdx.Prng.t;
+      (** private random number generator (Section 2.1 requires one per
+          node); derived deterministically from the engine seed and
+          [id] *)
+}
+
+val make : n:int -> id:int -> seed:int64 -> t
+(** Context with a node-private stream split off [seed]. *)

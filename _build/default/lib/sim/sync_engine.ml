@@ -1,0 +1,151 @@
+(** Synchronous round-based engine (Section 2.1 of the paper): a
+    message sent during round [r] is delivered during round [r+1].
+
+    The adversary is a closure invoked once per round. In [`Rushing]
+    mode it sees the messages correct nodes send in the *current* round
+    before choosing its own (the paper's rushing adversary); in
+    [`Non_rushing] mode it only sees the previous round's messages. In
+    both modes it has full information: every message ever sent is
+    eventually passed to [act] through [observed]. *)
+
+open Fba_stdx
+
+type 'msg adversary = {
+  corrupted : Bitset.t;
+  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+      (** [observed] is the batch of correct-node messages the adversary
+          is entitled to have seen when choosing its round-[round]
+          messages (current round when rushing, previous otherwise).
+          Returned envelopes must have a corrupted [src]. *)
+}
+
+let null_adversary ~corrupted = { corrupted; act = (fun ~round:_ ~observed:_ -> []) }
+
+type mode = [ `Rushing | `Non_rushing ]
+
+type 'state result = {
+  metrics : Metrics.t;
+  outputs : string option array;
+  states : 'state option array;  (** [None] for corrupted identities *)
+  all_decided : bool;
+  rounds_used : int;
+}
+
+module Make (P : Protocol.S) = struct
+  type nonrec adversary = P.msg adversary
+
+  type nonrec result = P.state result
+
+  let validate_adversary_envelope ~n ~(corrupted : Bitset.t) (e : P.msg Envelope.t) =
+    if e.Envelope.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+      invalid_arg "Sync_engine: adversary envelope out of range";
+    if not (Bitset.mem corrupted e.src) then
+      invalid_arg "Sync_engine: adversary may only send from corrupted identities"
+
+  let run ?(quiet_limit = 3) ~(config : P.config) ~n ~seed ~(adversary : adversary)
+      ~(mode : mode) ~max_rounds () =
+    if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
+    let corrupted = adversary.corrupted in
+    let metrics = Metrics.create ~n ~corrupted in
+    let states : P.state option array = Array.make n None in
+    let outputs : string option array = Array.make n None in
+    let undecided = ref 0 in
+    (* Messages sent by correct nodes during the current round. *)
+    let correct_out : P.msg Envelope.t list ref = ref [] in
+    let send src (dst, msg) =
+      if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
+      correct_out := Envelope.make ~src ~dst msg :: !correct_out
+    in
+    (* Round 0: initialize correct nodes. *)
+    for id = 0 to n - 1 do
+      if not (Bitset.mem corrupted id) then begin
+        let ctx = Ctx.make ~n ~id ~seed in
+        let state, out = P.init config ctx in
+        states.(id) <- Some state;
+        List.iter (send id) out;
+        incr undecided
+      end
+    done;
+    let check_decision ~round id =
+      if outputs.(id) = None then begin
+        match states.(id) with
+        | None -> ()
+        | Some st ->
+          (match P.output st with
+          | Some v ->
+            outputs.(id) <- Some v;
+            Metrics.record_decision metrics ~id ~round;
+            decr undecided
+          | None -> ())
+      end
+    in
+    for id = 0 to n - 1 do
+      check_decision ~round:0 id
+    done;
+    (* In-flight messages, to be delivered next round. *)
+    let in_flight : P.msg Envelope.t list ref = ref [] in
+    let commit_round ~round ~prev_correct =
+      (* Ask the adversary for its round-[round] messages. *)
+      let observed =
+        match mode with `Rushing -> List.rev !correct_out | `Non_rushing -> prev_correct
+      in
+      let byz = adversary.act ~round ~observed in
+      List.iter (validate_adversary_envelope ~n ~corrupted) byz;
+      let this_round_correct = List.rev !correct_out in
+      (* Byzantine messages are delivered before correct ones next
+         round: adversary-favorable tie-breaking, so races (e.g. the
+         overload filter of Algorithm 3) resolve for the worst case. *)
+      let all = byz @ this_round_correct in
+      List.iter
+        (fun (e : P.msg Envelope.t) ->
+          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg))
+        all;
+      in_flight := all;
+      correct_out := [];
+      this_round_correct
+    in
+    let prev_correct = ref (commit_round ~round:0 ~prev_correct:[]) in
+    let round = ref 0 in
+    (* Quiescence: some protocols (committee trees, phase king,
+       re-polling AER) have planned gaps with nothing in flight, so we
+       only stop after [quiet_limit] consecutive rounds with no traffic
+       at all. Protocols with round timers longer than the default must
+       raise it. *)
+    let quiet = ref 0 in
+    let last_active = ref 0 in
+    (* Main loop: rounds 1 .. max_rounds. *)
+    let continue = ref (!undecided > 0 || !in_flight <> []) in
+    while !continue && !round < max_rounds do
+      incr round;
+      let r = !round in
+      (* Clock hook. *)
+      for id = 0 to n - 1 do
+        match states.(id) with
+        | None -> ()
+        | Some st -> List.iter (send id) (P.on_round config st ~round:r)
+      done;
+      (* Deliver last round's messages. *)
+      let deliveries = !in_flight in
+      in_flight := [];
+      List.iter
+        (fun (e : P.msg Envelope.t) ->
+          match states.(e.Envelope.dst) with
+          | None -> () (* destination is Byzantine: adversary saw it via observed *)
+          | Some st -> List.iter (send e.dst) (P.on_receive config st ~round:r ~src:e.src e.msg))
+        deliveries;
+      for id = 0 to n - 1 do
+        check_decision ~round:r id
+      done;
+      prev_correct := commit_round ~round:r ~prev_correct:!prev_correct;
+      if deliveries = [] && !in_flight = [] then incr quiet
+      else begin
+        quiet := 0;
+        last_active := r
+      end;
+      continue :=
+        (!undecided > 0 || !in_flight <> [] || !prev_correct <> []) && !quiet < quiet_limit
+    done;
+    let rounds_used = if !quiet > 0 then !last_active else !round in
+    Metrics.set_rounds metrics rounds_used;
+    { metrics; outputs; states; all_decided = !undecided = 0; rounds_used }
+end

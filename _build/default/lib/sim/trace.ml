@@ -1,0 +1,60 @@
+type t = {
+  counts : (int * string, int) Hashtbl.t;
+  mutable kind_set : (string, unit) Hashtbl.t;
+  mutable max_round : int;
+}
+
+let create () = { counts = Hashtbl.create 64; kind_set = Hashtbl.create 8; max_round = -1 }
+
+let record t ~round ~kind =
+  let key = (round, kind) in
+  Hashtbl.replace t.counts key (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key));
+  if not (Hashtbl.mem t.kind_set kind) then Hashtbl.add t.kind_set kind ();
+  if round > t.max_round then t.max_round <- round
+
+let kinds t = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.kind_set [])
+
+let rounds t = t.max_round + 1
+
+let count t ~round ~kind = Option.value ~default:0 (Hashtbl.find_opt t.counts (round, kind))
+
+let render t =
+  let ks = kinds t in
+  let tbl =
+    Fba_stdx.Table.create
+      ~columns:(("round", Fba_stdx.Table.Right) :: List.map (fun k -> (k, Fba_stdx.Table.Right)) ks)
+  in
+  for round = 0 to t.max_round do
+    Fba_stdx.Table.add_row tbl
+      (string_of_int round :: List.map (fun k -> string_of_int (count t ~round ~kind:k)) ks)
+  done;
+  Fba_stdx.Table.to_markdown tbl
+
+(* First token of the pp rendering, e.g. "Fw1(x=3, ...)" -> "Fw1". *)
+let kind_of_pp pp msg =
+  let s = Format.asprintf "%a" pp msg in
+  let stop = ref (String.length s) in
+  String.iteri (fun i c -> if !stop = String.length s && (c = '(' || c = ' ') then stop := i) s;
+  String.sub s 0 !stop
+
+module Traced (P : Protocol.S) = struct
+  type config = P.config * t
+  type msg = P.msg
+  type state = P.state
+
+  let name = P.name ^ "-traced"
+
+  let init (cfg, _) ctx = P.init cfg ctx
+
+  let on_round (cfg, _) st ~round = P.on_round cfg st ~round
+
+  let on_receive (cfg, trace) st ~round ~src msg =
+    record trace ~round ~kind:(kind_of_pp P.pp_msg msg);
+    P.on_receive cfg st ~round ~src msg
+
+  let output = P.output
+
+  let msg_bits (cfg, _) msg = P.msg_bits cfg msg
+
+  let pp_msg = P.pp_msg
+end

@@ -1,0 +1,37 @@
+(** Execution tracing: per-round message counts by kind.
+
+    Wrap any protocol with {!Traced} to collect, without touching the
+    protocol code, how many messages of each kind crossed the wire in
+    each round — the raw material for the phase diagrams one draws of
+    AER executions (pushes, then polls/pulls, then the Fw1 burst, then
+    Fw2s and answers). The kind of a message is the first token of its
+    [pp_msg] rendering, so every protocol gets sensible labels for
+    free. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> round:int -> kind:string -> unit
+
+val kinds : t -> string list
+(** All kinds seen, sorted. *)
+
+val rounds : t -> int
+(** Highest round recorded + 1 (0 if nothing recorded). *)
+
+val count : t -> round:int -> kind:string -> int
+
+val render : t -> string
+(** A markdown table: one row per round, one column per kind. *)
+
+(** Wrap a protocol so that every received message is recorded into the
+    given trace. The wrapped protocol is otherwise bit-for-bit
+    identical (same sends, same decisions, same accounting). *)
+module Traced (P : Protocol.S) : sig
+  include
+    Protocol.S
+      with type config = P.config * t
+       and type msg = P.msg
+       and type state = P.state
+end

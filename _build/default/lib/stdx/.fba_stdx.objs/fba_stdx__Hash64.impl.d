@@ -1,0 +1,1 @@
+lib/stdx/hash64.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/stdx/hash64.mli: Bytes

@@ -1,0 +1,1 @@
+lib/stdx/histogram.ml: Buffer Hashtbl List Option Printf String

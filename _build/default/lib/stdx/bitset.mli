@@ -1,0 +1,60 @@
+(** Fixed-capacity bitsets over integers [\[0, capacity)].
+
+    Used for corruption sets, knowledgeable sets and quorum membership
+    where dense integer sets beat hash tables. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [\[0, capacity)]. *)
+
+val capacity : t -> int
+(** Maximum element count (exclusive upper bound of members). *)
+
+val mem : t -> int -> bool
+(** Membership; raises [Invalid_argument] out of range. *)
+
+val add : t -> int -> unit
+(** Add an element in place. *)
+
+val remove : t -> int -> unit
+(** Remove an element in place. *)
+
+val cardinal : t -> int
+(** Number of members. O(capacity/64). *)
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val clear : t -> unit
+(** Remove all elements. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity elements]. *)
+
+val of_array : int -> int array -> t
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val union : t -> t -> t
+(** New set; capacities must match. *)
+
+val inter : t -> t -> t
+(** New set; capacities must match. *)
+
+val diff : t -> t -> t
+(** New set; capacities must match. *)
+
+val complement : t -> t
+(** New set of all non-members. *)
+
+val count_in : t -> int array -> int
+(** [count_in t a] is the number of entries of [a] that are members of
+    [t]; entries outside capacity raise [Invalid_argument]. *)

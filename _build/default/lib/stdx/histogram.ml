@@ -1,0 +1,50 @@
+type t = { counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 16; total = 0 }
+
+let add_many t v k =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  if k > 0 then begin
+    Hashtbl.replace t.counts v (k + Option.value ~default:0 (Hashtbl.find_opt t.counts v));
+    t.total <- t.total + k
+  end
+
+let add t v = add_many t v 1
+
+let count t v = Option.value ~default:0 (Hashtbl.find_opt t.counts v)
+
+let total t = t.total
+
+let to_rows t =
+  List.sort compare (Hashtbl.fold (fun v c acc -> if c > 0 then (v, c) :: acc else acc) t.counts [])
+
+let max_value t =
+  match List.rev (to_rows t) with [] -> None | (v, _) :: _ -> Some v
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let target = p /. 100.0 *. float_of_int t.total in
+  let rec scan acc = function
+    | [] -> invalid_arg "Histogram.percentile: unreachable"
+    | [ (v, _) ] -> v
+    | (v, c) :: rest ->
+      let acc = acc + c in
+      if float_of_int acc >= target then v else scan acc rest
+  in
+  scan 0 (to_rows t)
+
+let render ?(width = 40) t =
+  let rows = to_rows t in
+  let peak = List.fold_left (fun m (_, c) -> max m c) 1 rows in
+  let label_width =
+    List.fold_left (fun m (v, _) -> max m (String.length (string_of_int v))) 1 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v, c) ->
+      let bar = max 1 (c * width / peak) in
+      Buffer.add_string buf (Printf.sprintf "%*d | %s  %d\n" label_width v (String.make bar '#') c))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Small integer histograms with ASCII rendering.
+
+    Used to display decision-round and per-node-load distributions in
+    experiment output — the paper's time bounds are about the {e tail}
+    of the decision distribution, which a mean hides. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Count one occurrence of a value. Negative values are rejected with
+    [Invalid_argument]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v k] counts [k] occurrences. *)
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val max_value : t -> int option
+(** Largest value with a non-zero count. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [\[0,100\]]: smallest value v such that
+    at least [p]% of the mass is ≤ v. Raises [Invalid_argument] on an
+    empty histogram. *)
+
+val to_rows : t -> (int * int) list
+(** (value, count) pairs in increasing value order, zero counts
+    skipped. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per distinct value:
+    {v
+    4 | ########################################  812
+    5 | ###                                        61
+    v} *)

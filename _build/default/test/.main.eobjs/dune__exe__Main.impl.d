@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_adversary Test_aeba Test_aer_unit Test_baselines Test_core Test_extensions Test_harness Test_props Test_samplers Test_sim Test_stdx

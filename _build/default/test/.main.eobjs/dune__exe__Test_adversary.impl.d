@@ -1,0 +1,1 @@
+test/test_adversary.ml: Aer Alcotest Array Bitset Bytes Fba_adversary Fba_core Fba_samplers Fba_sim Fba_stdx Int64 List Msg Params Printf Prng Scenario

@@ -1,0 +1,1 @@
+test/test_aeba.ml: Aeba Alcotest Array Bitset Committee_tree Fba_adversary Fba_aeba Fba_sim Fba_stdx Int64 List Phase_king Printf Prng String

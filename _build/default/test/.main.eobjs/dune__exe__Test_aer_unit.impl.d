@@ -1,0 +1,1 @@
+test/test_aer_unit.ml: Aer Alcotest Array Fba_core Fba_samplers Fba_sim Fba_stdx Int64 List Msg Params Prng Scenario

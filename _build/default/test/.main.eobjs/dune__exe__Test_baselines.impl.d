@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bitset Fba_baselines Fba_sim Fba_stdx List Printf Prng

@@ -1,0 +1,1 @@
+test/test_core.ml: Aer Alcotest Array Ba Bitset Fba_adversary Fba_core Fba_samplers Fba_sim Fba_stdx Hashtbl Int64 List Msg Params Prng Scenario Stats String

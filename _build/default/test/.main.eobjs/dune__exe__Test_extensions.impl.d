@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bitset Fba_extensions Fba_sim Fba_stdx Printf Prng

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bitset Fba_adversary Fba_core Fba_harness Fba_sim Fba_stdx

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bitset Bytes Char Fba_adversary Fba_aeba Fba_core Fba_extensions Fba_samplers Fba_sim Fba_stdx Histogram Int Int64 List Prng QCheck2 QCheck_alcotest Set Stats

@@ -1,0 +1,1 @@
+test/test_samplers.ml: Affine_sampler Alcotest Array Bitset Cache Digraph Fba_samplers Fba_stdx Int64 List Printf Prng Property_check Push_plan Sampler String

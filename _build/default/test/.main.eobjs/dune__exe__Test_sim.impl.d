@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Async_engine Bitset Ctx Envelope Fba_sim Fba_stdx Format List Metrics Printf String Sync_engine Trace

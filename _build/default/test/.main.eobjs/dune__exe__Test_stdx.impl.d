@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Bitset Bytes Char Fba_stdx Hash64 Histogram Intx List Printf Prng Stats String Table

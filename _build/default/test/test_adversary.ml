@@ -1,0 +1,183 @@
+open Fba_stdx
+open Fba_core
+module Attacks = Fba_adversary.Aer_attacks
+module Corruption = Fba_adversary.Corruption
+module Schedulers = Fba_adversary.Schedulers
+module Engine = Fba_sim.Sync_engine.Make (Aer)
+
+let mk_scenario ?(byz = 0.1) ?(kn = 0.85) ?(n = 96) seed =
+  let params = Params.make_for ~n ~seed ~byzantine_fraction:byz ~knowledgeable_fraction:kn () in
+  let rng = Prng.create (Int64.add seed 500L) in
+  Scenario.make ~params ~rng ~byzantine_fraction:byz ~knowledgeable_fraction:kn ()
+
+(* --- attack envelope hygiene: every strategy must only send from
+   corrupted identities (the engine enforces it; these tests check the
+   strategies never trip that check on a real run). --- *)
+
+let run_with attack sc =
+  let cfg = Aer.config_of_scenario sc in
+  let n = Scenario.(sc.params.Params.n) in
+  Engine.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed ~adversary:(attack sc)
+    ~mode:`Rushing ~max_rounds:100 ()
+
+let test_attacks_are_well_formed () =
+  let sc = mk_scenario 1L in
+  List.iter
+    (fun (name, attack) ->
+      match run_with attack sc with
+      | _ -> Alcotest.(check pass) name () ()
+      | exception Invalid_argument msg ->
+        Alcotest.failf "%s sent an invalid envelope: %s" name msg)
+    [
+      ("silent", Attacks.silent);
+      ("push_flood", fun sc -> Attacks.push_flood sc);
+      ("push_flood blast", fun sc -> Attacks.push_flood ~blast:true sc);
+      ("wrong_answer", Attacks.wrong_answer);
+      ("cornering", fun sc -> Attacks.cornering sc);
+      ("quorum_capture", fun sc -> Attacks.quorum_capture sc);
+      ("composed", fun sc -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ]));
+    ]
+
+let test_compose_rejects_mismatched () =
+  let sc1 = mk_scenario 2L in
+  let sc2 = mk_scenario 3L in
+  Alcotest.check_raises "different scenarios rejected"
+    (Invalid_argument "Aer_attacks.compose: attacks built from different scenarios") (fun () ->
+      ignore (Attacks.compose sc1 [ Attacks.silent sc1; Attacks.silent sc2 ]))
+
+let test_push_flood_volume () =
+  (* Smart flooding sends each fake string only to the quorums the
+     sender sits in: per fake string at most ~(a*d_i) targets/sender. *)
+  let sc = mk_scenario 4L in
+  let attack = Attacks.push_flood ~fake_strings:2 sc in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:[] in
+  let t = Bitset.cardinal sc.Scenario.corrupted in
+  let d_i = Params.(sc.Scenario.params.d_i) in
+  Alcotest.(check bool) "nonempty" true (envs <> []);
+  Alcotest.(check bool) "bounded by inverse-degree" true
+    (List.length envs <= 2 * t * 4 * d_i);
+  (* Idempotence: only fires in round 0. *)
+  Alcotest.(check (list reject)) "fires once"
+    []
+    (List.map (fun _ -> ()) (attack.Fba_sim.Sync_engine.act ~round:1 ~observed:[]))
+
+let test_cornering_budget () =
+  (* Each corrupted node spends exactly one pull request: d_j polls +
+     d_h pulls. *)
+  let sc = mk_scenario ~byz:0.2 ~kn:0.8 5L in
+  let attack = Attacks.cornering sc in
+  (* feed it a synthetic observation: one honest poll *)
+  let observed =
+    [ Fba_sim.Envelope.make ~src:1 ~dst:2 (Msg.Poll { s = sc.Scenario.gstring; r = 5L }) ]
+  in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed in
+  let t = Bitset.cardinal sc.Scenario.corrupted in
+  let expected = t * (Params.(sc.Scenario.params.d_j) + Params.(sc.Scenario.params.d_h)) in
+  Alcotest.(check int) "budget = t*(d_j + d_h) messages" expected (List.length envs);
+  List.iter
+    (fun (e : Msg.t Fba_sim.Envelope.t) ->
+      Alcotest.(check bool) "from corrupted" true (Bitset.mem sc.Scenario.corrupted e.src);
+      match e.Fba_sim.Envelope.msg with
+      | Msg.Poll { s; _ } | Msg.Pull { s; _ } ->
+        Alcotest.(check string) "targets gstring" sc.Scenario.gstring s
+      | _ -> Alcotest.fail "unexpected message kind")
+    envs
+
+let test_quorum_capture_strings_pass_filter () =
+  (* Every push the capture attack sends must come from a member of the
+     push quorum it targets (otherwise receivers drop it silently). *)
+  let params = Params.make ~n:96 ~seed:6L ~d_i:12 ~d_h:12 ~d_j:12 () in
+  let rng = Prng.create 7L in
+  let sc = Scenario.make ~params ~rng ~byzantine_fraction:0.25 ~knowledgeable_fraction:0.7 () in
+  let attack = Attacks.quorum_capture ~victims:2 ~strings_per_victim:4 sc in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:[] in
+  Alcotest.(check bool) "found capture strings" true (envs <> []);
+  let si = Params.sampler_i params in
+  List.iter
+    (fun (e : Msg.t Fba_sim.Envelope.t) ->
+      match e.Fba_sim.Envelope.msg with
+      | Msg.Push s ->
+        Alcotest.(check bool) "sender in I(s, victim)" true
+          (Fba_samplers.Sampler.mem_sx si ~s ~x:e.dst ~y:e.src)
+      | _ -> Alcotest.fail "capture should only push")
+    envs
+
+(* --- Corruption --- *)
+
+let test_corruption_random () =
+  let rng = Prng.create 8L in
+  let c = Corruption.random ~n:100 ~rng ~count:25 in
+  Alcotest.(check int) "exact count" 25 (Bitset.cardinal c)
+
+let test_corruption_adaptive_denies_gstring () =
+  (* The adaptive adversary corrupts a majority of I(gstring, victim):
+     the victim can never accept gstring — the capability the paper's
+     non-adaptive assumption removes. *)
+  let n = 96 in
+  let params = Params.make_for ~n ~seed:9L ~byzantine_fraction:0.2 ~knowledgeable_fraction:0.8 () in
+  let rng = Prng.create 10L in
+  let gstring = Bytes.unsafe_to_string (Prng.bits rng params.Params.gstring_bits) in
+  let victim = 0 in
+  let t = n / 5 in
+  let corrupted =
+    Corruption.seize_push_quorum ~sampler_i:(Params.sampler_i params) ~gstring
+      ~victims:[ victim ] ~n ~rng ~count:t
+  in
+  Alcotest.(check int) "budget respected" t (Bitset.cardinal corrupted);
+  Alcotest.(check bool) "victim itself not corrupted" false (Bitset.mem corrupted victim);
+  (* Build the scenario around this corruption via of_assignment. *)
+  let initial =
+    Array.init n (fun i ->
+        if Bitset.mem corrupted i || i mod 7 = 0 then Printf.sprintf "junk-%d" i else gstring)
+  in
+  let sc = Scenario.of_assignment ~params ~gstring ~corrupted ~initial in
+  let res = run_with Attacks.silent sc in
+  (match res.Fba_sim.Sync_engine.states.(victim) with
+  | Some st ->
+    Alcotest.(check bool) "victim never accepts gstring via push" false
+      (List.mem gstring (Aer.candidates st) && not (Scenario.knows_gstring sc victim))
+  | None -> Alcotest.fail "victim should be correct");
+  (* The victim can only know gstring if it started with it. *)
+  if not (Scenario.knows_gstring sc victim) then
+    Alcotest.(check (option string)) "victim cannot decide gstring" None
+      res.Fba_sim.Sync_engine.outputs.(victim)
+
+(* --- Schedulers --- *)
+
+let test_schedulers () =
+  let e = Fba_sim.Envelope.make ~src:1 ~dst:2 () in
+  Alcotest.(check int) "unit" 1 (Schedulers.unit_delay ~time:0 e);
+  let corrupted = Bitset.of_list 4 [ 3 ] in
+  Alcotest.(check int) "slow correct-correct" 5
+    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 e);
+  let eb = Fba_sim.Envelope.make ~src:3 ~dst:2 () in
+  Alcotest.(check int) "fast byzantine" 1
+    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 eb);
+  for t = 0 to 50 do
+    let d = Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:t e in
+    Alcotest.(check bool) "uniform in range" true (d >= 1 && d <= 7)
+  done;
+  (* determinism *)
+  Alcotest.(check int) "uniform deterministic"
+    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 e)
+    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 e)
+
+let suites =
+  [
+    ( "adversary.attacks",
+      [
+        Alcotest.test_case "well-formed envelopes" `Quick test_attacks_are_well_formed;
+        Alcotest.test_case "compose validation" `Quick test_compose_rejects_mismatched;
+        Alcotest.test_case "push flood volume" `Quick test_push_flood_volume;
+        Alcotest.test_case "cornering budget" `Quick test_cornering_budget;
+        Alcotest.test_case "quorum capture passes filter" `Quick
+          test_quorum_capture_strings_pass_filter;
+      ] );
+    ( "adversary.corruption",
+      [
+        Alcotest.test_case "random count" `Quick test_corruption_random;
+        Alcotest.test_case "adaptive quorum seizure" `Quick
+          test_corruption_adaptive_denies_gstring;
+      ] );
+    ("adversary.schedulers", [ Alcotest.test_case "delay policies" `Quick test_schedulers ]);
+  ]

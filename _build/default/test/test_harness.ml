@@ -1,0 +1,147 @@
+open Fba_stdx
+module Obs = Fba_harness.Obs
+module Runner = Fba_harness.Runner
+module Composition = Fba_harness.Composition
+
+(* --- Obs --- *)
+
+let mk_metrics ~n ~corrupted_ids =
+  let corrupted = Bitset.of_list n corrupted_ids in
+  Fba_sim.Metrics.create ~n ~corrupted
+
+let test_obs_of_metrics () =
+  let m = mk_metrics ~n:4 ~corrupted_ids:[ 3 ] in
+  Fba_sim.Metrics.record_send m ~src:0 ~dst:1 ~bits:100;
+  Fba_sim.Metrics.record_decision m ~id:0 ~round:2;
+  Fba_sim.Metrics.record_decision m ~id:1 ~round:4;
+  Fba_sim.Metrics.set_rounds m 5;
+  let outputs = [| Some "g"; Some "bad"; None; Some "g" |] in
+  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:(Some "g") in
+  Alcotest.(check int) "rounds" 5 obs.Obs.rounds;
+  (* 3 correct nodes: 0 decided g, 1 decided bad, 2 undecided. *)
+  Alcotest.(check (float 0.001)) "decided" (2.0 /. 3.0) obs.Obs.decided_fraction;
+  Alcotest.(check (float 0.001)) "agreed" (1.0 /. 3.0) obs.Obs.agreed_fraction;
+  Alcotest.(check int) "wrong" 1 obs.Obs.wrong_decisions;
+  Alcotest.(check (option int)) "max decision incomplete" None obs.Obs.max_decision_round;
+  Alcotest.(check (float 0.001)) "bits/node" 25.0 obs.Obs.bits_per_node
+
+let test_obs_plurality_reference () =
+  let m = mk_metrics ~n:3 ~corrupted_ids:[] in
+  Fba_sim.Metrics.set_rounds m 1;
+  let outputs = [| Some "a"; Some "a"; Some "b" |] in
+  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:None in
+  Alcotest.(check (float 0.001)) "plurality wins" (2.0 /. 3.0) obs.Obs.agreed_fraction
+
+let test_obs_aggregate () =
+  let mk_obs rounds bits =
+    let m = mk_metrics ~n:2 ~corrupted_ids:[] in
+    Fba_sim.Metrics.record_send m ~src:0 ~dst:1 ~bits:(bits * 2);
+    Fba_sim.Metrics.record_decision m ~id:0 ~round:rounds;
+    Fba_sim.Metrics.record_decision m ~id:1 ~round:rounds;
+    Fba_sim.Metrics.set_rounds m rounds;
+    Obs.of_metrics ~metrics:m ~outputs:[| Some "g"; Some "g" |] ~reference:(Some "g")
+  in
+  let s = Obs.aggregate [ mk_obs 2 10; mk_obs 4 30 ] in
+  Alcotest.(check int) "runs" 2 s.Obs.runs;
+  Alcotest.(check (float 0.001)) "mean rounds" 3.0 s.Obs.mean_rounds;
+  Alcotest.(check (float 0.001)) "mean bits" 20.0 s.Obs.mean_bits_per_node;
+  Alcotest.(check (option int)) "worst decision" (Some 4) s.Obs.worst_decision_round;
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Obs.aggregate: empty") (fun () ->
+      ignore (Obs.aggregate []))
+
+(* --- Runner + composition, fast smoke-level checks --- *)
+
+let test_runner_end_to_end () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:64 ~seed:11L in
+  let r = Runner.run_aer_sync ~adversary:Fba_adversary.Aer_attacks.silent sc in
+  Alcotest.(check (float 0.001)) "all agreed" 1.0 r.Runner.obs.Obs.agreed_fraction;
+  Alcotest.(check int) "no missing gstring" 0 r.Runner.gstring_missing;
+  Alcotest.(check bool) "push bounded" true
+    (r.Runner.push_max_messages <= 3 * Fba_core.Params.(sc.Fba_core.Scenario.params.d_i));
+  let grid_obs = Runner.run_grid sc in
+  Alcotest.(check (float 0.001)) "grid agrees too" 1.0 grid_obs.Obs.agreed_fraction;
+  let relay_obs = Runner.run_relay sc in
+  Alcotest.(check (float 0.001)) "relay agrees too" 1.0 relay_obs.Obs.agreed_fraction
+
+let test_runner_seeds_stable () =
+  Alcotest.(check (list int64)) "fixed seed list" [ 1020L; 2033L ]
+    (Runner.seeds 2)
+
+let test_composition_grid () =
+  let r = Composition.run_aeba_grid ~n:64 ~seed:12L ~byzantine_fraction:0.1 in
+  Alcotest.(check int) "everyone agrees" r.Composition.correct r.Composition.agreed;
+  Alcotest.(check bool) "phase2 bits accounted" true (r.Composition.phase2_bits_per_node > 0.0);
+  Alcotest.(check bool) "phase2 below total" true
+    (r.Composition.phase2_bits_per_node < r.Composition.bits_per_node)
+
+let test_composition_naive () =
+  let quiet = Composition.run_aeba_naive ~n:64 ~seed:16L ~byzantine_fraction:0.1 ~flood:false in
+  let flooded = Composition.run_aeba_naive ~n:64 ~seed:16L ~byzantine_fraction:0.1 ~flood:true in
+  Alcotest.(check int) "quiet agrees" quiet.Composition.correct quiet.Composition.agreed;
+  Alcotest.(check bool) "flooding costs more" true
+    (flooded.Composition.phase2_bits_per_node > quiet.Composition.phase2_bits_per_node)
+
+let test_composition_of_ba () =
+  let ba = Fba_core.Ba.run_sync ~n:64 ~seed:13L ~byzantine_fraction:0.1 () in
+  let r = Composition.of_ba_result ba in
+  Alcotest.(check int) "agreed carried over" ba.Fba_core.Ba.agreed r.Composition.agreed;
+  Alcotest.(check (float 0.001)) "bits carried over"
+    (Fba_sim.Metrics.amortized_bits ba.Fba_core.Ba.metrics)
+    r.Composition.bits_per_node
+
+(* --- Binary BA reduction --- *)
+
+let test_binary_ba () =
+  let r =
+    Fba_core.Binary_ba.run_sync ~inputs:(fun i -> i mod 2 = 0) ~n:64 ~seed:14L
+      ~byzantine_fraction:0.1 ()
+  in
+  Alcotest.(check int) "unanimity among correct" r.Fba_core.Binary_ba.correct
+    r.Fba_core.Binary_ba.agreed;
+  Alcotest.(check bool) "validity" true r.Fba_core.Binary_ba.validity_respected;
+  Alcotest.(check bool) "decided" true (r.Fba_core.Binary_ba.decided_bit <> None)
+
+let test_binary_ba_no_attack () =
+  let r =
+    Fba_core.Binary_ba.run_sync ~split_attack:false ~inputs:(fun i -> i mod 3 = 0) ~n:64
+      ~seed:18L ~byzantine_fraction:0.1 ()
+  in
+  Alcotest.(check int) "agreement" r.Fba_core.Binary_ba.correct r.Fba_core.Binary_ba.agreed;
+  Alcotest.(check bool) "validity" true r.Fba_core.Binary_ba.validity_respected
+
+let test_binary_ba_validity_unanimous () =
+  (* All-true inputs must decide true whatever the coin says. *)
+  let r =
+    Fba_core.Binary_ba.run_sync ~inputs:(fun _ -> true) ~n:64 ~seed:15L
+      ~byzantine_fraction:0.1 ()
+  in
+  Alcotest.(check (option bool)) "decides the unanimous input" (Some true)
+    r.Fba_core.Binary_ba.decided_bit;
+  Alcotest.(check bool) "validity" true r.Fba_core.Binary_ba.validity_respected
+
+let suites =
+  [
+    ( "harness.obs",
+      [
+        Alcotest.test_case "of_metrics" `Quick test_obs_of_metrics;
+        Alcotest.test_case "plurality reference" `Quick test_obs_plurality_reference;
+        Alcotest.test_case "aggregate" `Quick test_obs_aggregate;
+      ] );
+    ( "harness.runner",
+      [
+        Alcotest.test_case "end to end" `Quick test_runner_end_to_end;
+        Alcotest.test_case "stable seeds" `Quick test_runner_seeds_stable;
+      ] );
+    ( "harness.composition",
+      [
+        Alcotest.test_case "aeba + grid" `Quick test_composition_grid;
+        Alcotest.test_case "aeba + naive (flood contrast)" `Quick test_composition_naive;
+        Alcotest.test_case "of BA result" `Quick test_composition_of_ba;
+      ] );
+    ( "core.binary_ba",
+      [
+        Alcotest.test_case "agreement on split inputs" `Quick test_binary_ba;
+        Alcotest.test_case "agreement without attack" `Quick test_binary_ba_no_attack;
+        Alcotest.test_case "validity on unanimous inputs" `Quick test_binary_ba_validity_unanimous;
+      ] );
+  ]

@@ -1,0 +1,280 @@
+open Fba_stdx
+open Fba_sim
+
+(* Toy ring protocol: node 0 starts a token that hops to the next
+   identity each round; a node decides when the token reaches it. Node
+   i therefore decides in round i (node 0 at init), which makes engine
+   timing assertable. *)
+module Ring = struct
+  type config = { n : int }
+  type msg = Token
+  type state = { ctx : Ctx.t; mutable got : bool }
+
+  let name = "ring"
+
+  let init cfg ctx =
+    let st = { ctx; got = ctx.Ctx.id = 0 } in
+    let outs = if ctx.Ctx.id = 0 then [ ((ctx.Ctx.id + 1) mod cfg.n, Token) ] else [] in
+    (st, outs)
+
+  let on_round _ _ ~round:_ = []
+
+  let on_receive cfg st ~round:_ ~src:_ Token =
+    if st.got then []
+    else begin
+      st.got <- true;
+      [ ((st.ctx.Ctx.id + 1) mod cfg.n, Token) ]
+    end
+
+  let output st = if st.got then Some "done" else None
+  let msg_bits _ Token = 16
+  let pp_msg fmt Token = Format.fprintf fmt "Token"
+end
+
+module Ring_sync = Sync_engine.Make (Ring)
+module Ring_async = Async_engine.Make (Ring)
+
+let no_corruption n = Bitset.create n
+
+let test_sync_ring_timing () =
+  let n = 6 in
+  let res =
+    Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted:(no_corruption n))
+      ~mode:`Rushing ~max_rounds:20 ()
+  in
+  Alcotest.(check bool) "all decided" true res.Sync_engine.all_decided;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d decision round" i)
+      (Some i)
+      (Metrics.decision_round res.Sync_engine.metrics i)
+  done
+
+let test_sync_metrics_accounting () =
+  let n = 4 in
+  let res =
+    Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted:(no_corruption n))
+      ~mode:`Rushing ~max_rounds:20 ()
+  in
+  let m = res.Sync_engine.metrics in
+  (* Each node sends the token exactly once (node 3 sends back to 0,
+     who ignores it). *)
+  Alcotest.(check int) "total messages" n (Metrics.total_messages_correct m);
+  Alcotest.(check int) "total bits" (16 * n) (Metrics.total_bits_correct m);
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "per-node sends" 1 (Metrics.sent_messages_of m i)
+  done
+
+let test_sync_byzantine_breaks_ring () =
+  let n = 6 in
+  let corrupted = Bitset.of_list n [ 3 ] in
+  let res =
+    Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted)
+      ~mode:`Rushing ~max_rounds:50 ()
+  in
+  Alcotest.(check bool) "not all decided" false res.Sync_engine.all_decided;
+  Alcotest.(check (option string)) "node 2 decided" (Some "done") res.Sync_engine.outputs.(2);
+  Alcotest.(check (option string)) "node 4 starved" None res.Sync_engine.outputs.(4);
+  (* Quiescence detection: the engine must stop shortly after the token
+     dies at node 3, not spin to max_rounds. *)
+  Alcotest.(check bool) "stops early" true (res.Sync_engine.rounds_used < 12)
+
+let test_sync_adversary_validation () =
+  let n = 4 in
+  let corrupted = Bitset.of_list n [ 2 ] in
+  let forged =
+    {
+      Sync_engine.corrupted;
+      act =
+        (fun ~round ~observed:_ ->
+          if round = 0 then [ Envelope.make ~src:1 (* not corrupted! *) ~dst:0 Ring.Token ]
+          else []);
+    }
+  in
+  Alcotest.check_raises "forged sender rejected"
+    (Invalid_argument "Sync_engine: adversary may only send from corrupted identities")
+    (fun () ->
+      ignore
+        (Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L ~adversary:forged ~mode:`Rushing
+           ~max_rounds:5 ()))
+
+let test_rushing_vs_non_rushing_observation () =
+  let n = 4 in
+  let corrupted = Bitset.of_list n [ 2 ] in
+  let observed_round0 = ref (-1) in
+  let spy mode =
+    observed_round0 := -1;
+    let adversary =
+      {
+        Sync_engine.corrupted;
+        act =
+          (fun ~round ~observed ->
+            if round = 0 then observed_round0 := List.length observed;
+            []);
+      }
+    in
+    ignore
+      (Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~mode ~max_rounds:10 ());
+    !observed_round0
+  in
+  (* Rushing sees node 0's round-0 token; non-rushing sees nothing yet. *)
+  Alcotest.(check int) "rushing sees current round" 1 (spy `Rushing);
+  Alcotest.(check int) "non-rushing sees nothing in round 0" 0 (spy `Non_rushing)
+
+let test_async_delays () =
+  let n = 4 in
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
+      Async_engine.max_delay = 3;
+      delay = (fun ~time:_ _ -> 3);
+    }
+  in
+  let res =
+    Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:100 ()
+  in
+  Alcotest.(check bool) "all decided" true res.Async_engine.all_decided;
+  (* Token hop costs 3 time units: node i decides at time 3i. *)
+  for i = 1 to n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d decision time" i)
+      (Some (3 * i))
+      (Metrics.decision_round res.Async_engine.metrics i)
+  done;
+  Alcotest.(check (float 0.01)) "normalized rounds" 3.0 res.Async_engine.normalized_rounds
+
+let test_async_delay_clamping () =
+  let n = 3 in
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
+      Async_engine.max_delay = 2;
+      delay = (fun ~time:_ _ -> 100);
+      (* must be clamped to 2 *)
+    }
+  in
+  let res = Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:50 () in
+  Alcotest.(check (option int)) "clamped delay" (Some 2)
+    (Metrics.decision_round res.Async_engine.metrics 1)
+
+let test_async_injection_validation () =
+  let n = 3 in
+  let corrupted = Bitset.of_list n [ 1 ] in
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted) with
+      Async_engine.inject =
+        (fun ~time ->
+          if time = 0 then [ (Envelope.make ~src:0 ~dst:2 Ring.Token, 1) ] else []);
+    }
+  in
+  Alcotest.check_raises "forged async injection"
+    (Invalid_argument "Async_engine: adversary may only send from corrupted identities")
+    (fun () ->
+      ignore (Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:10 ()))
+
+let test_metrics_merge () =
+  let corrupted = Bitset.of_list 3 [ 2 ] in
+  let a = Metrics.create ~n:3 ~corrupted in
+  let b = Metrics.create ~n:3 ~corrupted in
+  Metrics.record_send a ~src:0 ~dst:1 ~bits:10;
+  Metrics.set_rounds a 5;
+  Metrics.record_send b ~src:1 ~dst:0 ~bits:20;
+  Metrics.record_decision b ~id:0 ~round:2;
+  Metrics.set_rounds b 7;
+  let m = Metrics.merge_phases a b in
+  Alcotest.(check int) "bits summed" 30 (Metrics.total_bits_correct m);
+  Alcotest.(check int) "rounds summed" 12 (Metrics.rounds m);
+  Alcotest.(check (option int)) "decision offset" (Some 7) (Metrics.decision_round m 0)
+
+let test_metrics_imbalance () =
+  let corrupted = Bitset.create 2 in
+  let m = Metrics.create ~n:2 ~corrupted in
+  Metrics.record_send m ~src:0 ~dst:1 ~bits:30;
+  (* node 0: sent 30; node 1: received 30 -> both have load 30: balanced. *)
+  Alcotest.(check (float 0.01)) "balanced" 1.0 (Metrics.load_imbalance m);
+  Metrics.record_send m ~src:0 ~dst:1 ~bits:30;
+  Alcotest.(check (float 0.01)) "still balanced by symmetry" 1.0 (Metrics.load_imbalance m)
+
+let test_envelope_pp () =
+  let e = Envelope.make ~src:1 ~dst:2 Ring.Token in
+  let s = Format.asprintf "%a" (Envelope.pp Ring.pp_msg) e in
+  Alcotest.(check string) "pp" "1->2: Token" s
+
+(* --- Trace --- *)
+
+let test_trace_records () =
+  let t = Trace.create () in
+  Trace.record t ~round:1 ~kind:"Push";
+  Trace.record t ~round:1 ~kind:"Push";
+  Trace.record t ~round:2 ~kind:"Poll";
+  Alcotest.(check (list string)) "kinds sorted" [ "Poll"; "Push" ] (Trace.kinds t);
+  Alcotest.(check int) "rounds" 3 (Trace.rounds t);
+  Alcotest.(check int) "count" 2 (Trace.count t ~round:1 ~kind:"Push");
+  Alcotest.(check int) "absent" 0 (Trace.count t ~round:0 ~kind:"Poll");
+  let rendered = Trace.render t in
+  Alcotest.(check bool) "renders a table" true (String.length rendered > 0)
+
+let test_traced_protocol_transparent () =
+  (* The Traced wrapper must not change behaviour, only observe. *)
+  let n = 5 in
+  let module TRing = Trace.Traced (Ring) in
+  let module TEngine = Sync_engine.Make (TRing) in
+  let trace = Trace.create () in
+  let plain =
+    Ring_sync.run ~config:{ Ring.n } ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted:(no_corruption n))
+      ~mode:`Rushing ~max_rounds:20 ()
+  in
+  let traced =
+    TEngine.run
+      ~config:({ Ring.n }, trace)
+      ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted:(no_corruption n))
+      ~mode:`Rushing ~max_rounds:20 ()
+  in
+  Alcotest.(check int) "same bits"
+    (Metrics.total_bits_correct plain.Sync_engine.metrics)
+    (Metrics.total_bits_correct traced.Sync_engine.metrics);
+  Alcotest.(check bool) "same outputs" true
+    (plain.Sync_engine.outputs = traced.Sync_engine.outputs);
+  (* n tokens received in total (one per node, incl. the wrap-around). *)
+  let total = ref 0 in
+  for r = 0 to Trace.rounds trace - 1 do
+    total := !total + Trace.count trace ~round:r ~kind:"Token"
+  done;
+  Alcotest.(check int) "all deliveries traced" n !total
+
+let suites =
+  [
+    ( "sim.sync",
+      [
+        Alcotest.test_case "ring timing" `Quick test_sync_ring_timing;
+        Alcotest.test_case "metrics accounting" `Quick test_sync_metrics_accounting;
+        Alcotest.test_case "byzantine breaks ring + quiescence" `Quick
+          test_sync_byzantine_breaks_ring;
+        Alcotest.test_case "adversary sender validation" `Quick test_sync_adversary_validation;
+        Alcotest.test_case "rushing vs non-rushing observation" `Quick
+          test_rushing_vs_non_rushing_observation;
+      ] );
+    ( "sim.async",
+      [
+        Alcotest.test_case "delayed delivery" `Quick test_async_delays;
+        Alcotest.test_case "delay clamping" `Quick test_async_delay_clamping;
+        Alcotest.test_case "injection validation" `Quick test_async_injection_validation;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "recording" `Quick test_trace_records;
+        Alcotest.test_case "wrapper transparency" `Quick test_traced_protocol_transparent;
+      ] );
+    ( "sim.metrics",
+      [
+        Alcotest.test_case "merge phases" `Quick test_metrics_merge;
+        Alcotest.test_case "load imbalance" `Quick test_metrics_imbalance;
+        Alcotest.test_case "envelope pp" `Quick test_envelope_pp;
+      ] );
+  ]
