@@ -11,7 +11,14 @@
       feed those tables, so performance regressions in the simulator
       itself are visible.
 
-   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all] [--full] *)
+   [perf --json] is the regression gate: it first runs scripts/ci.sh
+   (build + tests; set FBA_SKIP_CI=1 to skip, e.g. when already inside
+   a dune lock), then measures every perf target plus one large-n
+   end-to-end AER run — wall time and allocated words per run, via
+   [Gc.allocated_bytes] — and writes BENCH_<rev>.json for diffing
+   against the previous revision's file.
+
+   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all] [--full] [--json] *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -107,6 +114,83 @@ let run_perf () =
   Fba_stdx.Table.print tbl;
   print_newline ()
 
+(* --- JSON perf gate --- *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | ic ->
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+  | exception _ -> "unknown"
+
+(* One warm run (fills samplers' caches and the first-touch
+   allocations), then timed runs until at least 3 and ~1s of work, so
+   cheap targets average over many runs while expensive ones stay
+   bounded. *)
+let measure_target f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  let runs = ref 0 in
+  while !runs < 3 || (Unix.gettimeofday () -. t0 < 1.0 && !runs < 50) do
+    f ();
+    incr runs
+  done;
+  let k = float_of_int !runs in
+  let time_ns = (Unix.gettimeofday () -. t0) /. k *. 1e9 in
+  let words = (Gc.allocated_bytes () -. a0) /. 8.0 /. k in
+  (time_ns, words, !runs)
+
+let run_perf_json () =
+  (match Sys.getenv_opt "FBA_SKIP_CI" with
+  | Some _ -> print_endline "## perf gate: FBA_SKIP_CI set, skipping scripts/ci.sh"
+  | None ->
+    if Sys.file_exists "scripts/ci.sh" then begin
+      print_endline "## perf gate: running scripts/ci.sh (set FBA_SKIP_CI=1 to skip)";
+      let rc = Sys.command "sh scripts/ci.sh" in
+      if rc <> 0 then begin
+        Printf.eprintf "perf --json: scripts/ci.sh failed (exit %d); not recording numbers\n" rc;
+        exit rc
+      end
+    end
+    else print_endline "## perf gate: scripts/ci.sh not found (not at repo root?), skipping");
+  print_endline "## Perf targets (wall time and allocated words per run)\n";
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let time_ns, words, runs = measure_target f in
+        Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (%d runs)\n%!" name time_ns
+          words runs;
+        (name, time_ns, words, runs))
+      perf_tests
+  in
+  (* One large-n end-to-end run, measured once: the sweep-scale
+     configuration the micro targets extrapolate to. *)
+  let e2e_name = "e2e/aer-cornering-n1024" in
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:1024 ~seed:1L in
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  ignore (Runner.run_aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
+  let e2e_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let e2e_words = (Gc.allocated_bytes () -. a0) /. 8.0 in
+  Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" e2e_name e2e_ns e2e_words;
+  let rows = rows @ [ (e2e_name, e2e_ns, e2e_words, 1) ] in
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"targets\": [" rev;
+  List.iteri
+    (fun i (name, time_ns, words, runs) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d }"
+        (if i = 0 then "" else ",")
+        name time_ns words runs)
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 (* --- Entry point --- *)
 
 let experiments =
@@ -121,14 +205,15 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let which = List.filter (fun a -> a <> "--full") args in
+  let json = List.mem "--json" args in
+  let which = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let which = if which = [] then [ "all" ] else which in
   let run_one name =
     match List.assoc_opt name experiments with
     | Some f ->
       f ?full:(Some full) ~out:stdout ();
       flush stdout
-    | None when name = "perf" -> run_perf ()
+    | None when name = "perf" -> if json then run_perf_json () else run_perf ()
     | None when name = "all" ->
       List.iter
         (fun (_, f) ->

@@ -131,23 +131,40 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
         Hashtbl.add need w (ref cost)
       end)
     ranked;
-  (* One searched pull request per corrupted node. *)
+  (* One searched pull request per corrupted node. Candidate labels are
+     batch-drawn up front (explicit loops — the Prng sequence is pinned
+     by the recorded goldens, and [Array.init] order is unspecified),
+     then every candidate poll list is materialized in one
+     [precompute_xr] pass so scoring and the final scans read the flat
+     slab instead of allocating per-label quorum arrays. *)
+  let nb = Array.length byz in
+  let labels = Array.make (max 1 (nb * labels_per_search)) 0L in
+  for i = 0 to (nb * labels_per_search) - 1 do
+    labels.(i) <- Prng.int64 rng
+  done;
+  let pairs = ref [] in
+  for i = nb - 1 downto 0 do
+    for j = labels_per_search - 1 downto 0 do
+      pairs := (byz.(i), labels.((i * labels_per_search) + j)) :: !pairs
+    done
+  done;
+  Cache.precompute_xr qj !pairs;
   let outs = ref [] in
-  Array.iter
-    (fun a ->
+  Array.iteri
+    (fun i a ->
       let score r =
-        Array.fold_left
-          (fun acc w ->
-            match Hashtbl.find_opt need w with
-            | Some n when !n > 0 -> acc + 1
-            | _ -> acc)
-          0
-          (Cache.quorum_xr qj ~x:a ~r)
+        let acc = ref 0 in
+        Cache.iter_xr qj ~x:a ~r (fun w ->
+            match Hashtbl.find need w with
+            | n when !n > 0 -> incr acc
+            | _ | (exception Not_found) -> ());
+        !acc
       in
-      let best_r = ref (Prng.int64 rng) in
+      let base = i * labels_per_search in
+      let best_r = ref labels.(base) in
       let best_score = ref (score !best_r) in
-      for _ = 2 to labels_per_search do
-        let r = Prng.int64 rng in
+      for j = 1 to labels_per_search - 1 do
+        let r = labels.(base + j) in
         let sc' = score r in
         if sc' > !best_score then begin
           best_score := sc';
@@ -155,12 +172,11 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
         end
       done;
       let r = !best_r in
-      let poll_list = Cache.quorum_xr qj ~x:a ~r in
-      Array.iter
-        (fun w ->
-          (match Hashtbl.find_opt need w with Some n when !n > 0 -> decr n | _ -> ());
-          outs := Envelope.make ~src:a ~dst:w (Msg.Poll { s = gstring; r }) :: !outs)
-        poll_list;
+      Cache.iter_xr qj ~x:a ~r (fun w ->
+          (match Hashtbl.find need w with
+          | n when !n > 0 -> decr n
+          | _ | (exception Not_found) -> ());
+          outs := Envelope.make ~src:a ~dst:w (Msg.Poll { s = gstring; r }) :: !outs);
       Array.iter
         (fun y -> outs := Envelope.make ~src:a ~dst:y (Msg.Pull { s = gstring; r }) :: !outs)
         (Cache.quorum_sx qh ~s:gstring ~x:a))

@@ -1,34 +1,141 @@
+open Fba_stdx
+
+(* Shared "not yet evaluated" sentinel for the per-string rows; compared
+   physically, so a genuinely empty quorum (impossible: d >= 1) could
+   never be confused with it anyway. *)
+let unset : int array = [||]
+
 type t = {
   sampler : Sampler.t;
-  sx : (string * int, int array) Hashtbl.t;
-  xr : (int * int64, int array) Hashtbl.t;
+  (* I/H-shaped quorums: one dense row of per-x slots per string. A
+     lookup is a string-hash plus an array index — no (s, x) tuple, no
+     int64 arithmetic, no allocation on the hit path. The row costs
+     n + 1 words per distinct string, bounded by the handful of
+     candidate strings a run ever sees. *)
+  sx : (string, int array array) Hashtbl.t;
+  (* J-shaped quorums: open-addressing int64 table keyed by
+     [salt.(x) lxor r]. The salt is a finished per-x hash, so keys are
+     uniform; a cross-key collision needs a 64-bit birthday hit over
+     the ~10^4 labels of a run (p < 1e-11), far below the sampler
+     failure probabilities the simulator is already accepting. *)
+  xr : int array I64_table.t;
+  salt : int64 array;
+  (* Optional flat J-quorum store filled by [precompute_xr]: quorum i
+     occupies [flat_xr.(i*d .. i*d + d - 1)]; [xr_off] maps keys to i.
+     Membership tests and iteration read the slab in place. *)
+  mutable flat_xr : int array;
+  mutable flat_count : int;
+  xr_off : int I64_table.t;
 }
 
-let create sampler = { sampler; sx = Hashtbl.create 4096; xr = Hashtbl.create 4096 }
+let create sampler =
+  {
+    sampler;
+    sx = Hashtbl.create 64;
+    xr = I64_table.create ();
+    salt = Array.init (Sampler.n sampler) (fun x -> Sampler.key_xr sampler ~x ~r:0L);
+    flat_xr = [||];
+    flat_count = 0;
+    xr_off = I64_table.create ();
+  }
 
 let sampler t = t.sampler
 
+let key_xr t ~x ~r = Int64.logxor t.salt.(x) r
+
+let row t s =
+  match Hashtbl.find t.sx s with
+  | row -> row
+  | exception Not_found ->
+    let row = Array.make (Sampler.n t.sampler) unset in
+    Hashtbl.add t.sx s row;
+    row
+
 let quorum_sx t ~s ~x =
-  let key = (s, x) in
-  match Hashtbl.find_opt t.sx key with
-  | Some q -> q
-  | None ->
+  let row = row t s in
+  let q = row.(x) in
+  if q != unset then q
+  else begin
     let q = Sampler.quorum_sx t.sampler ~s ~x in
-    Hashtbl.add t.sx key q;
+    row.(x) <- q;
     q
+  end
 
 let quorum_xr t ~x ~r =
-  let key = (x, r) in
-  match Hashtbl.find_opt t.xr key with
-  | Some q -> q
-  | None ->
-    let q = Sampler.quorum_xr t.sampler ~x ~r in
-    Hashtbl.add t.xr key q;
+  let key = key_xr t ~x ~r in
+  match I64_table.get t.xr key with
+  | q -> q
+  | exception Not_found ->
+    let d = Sampler.d t.sampler in
+    let q =
+      match I64_table.get t.xr_off key with
+      | i -> Array.sub t.flat_xr (i * d) d
+      | exception Not_found -> Sampler.quorum_xr t.sampler ~x ~r
+    in
+    I64_table.set t.xr key q;
     q
 
-let mem_array a y =
-  let rec loop i = i < Array.length a && (a.(i) = y || loop (i + 1)) in
-  loop 0
+(* Top-level recursion on purpose: an inner [let rec loop] would
+   capture [a]/[y] in a fresh closure on every membership test. *)
+let rec mem_scan a y i stop = i < stop && (a.(i) = y || mem_scan a y (i + 1) stop)
 
+let mem_array a y = mem_scan a y 0 (Array.length a)
+
+(* Membership caches the full quorum on a miss: protocol handlers test
+   the same key many times, so one O(d)-hash evaluation up front beats
+   repeated early-exit draws. The scan itself early-exits on [y]. *)
 let mem_sx t ~s ~x ~y = mem_array (quorum_sx t ~s ~x) y
-let mem_xr t ~x ~r ~y = mem_array (quorum_xr t ~x ~r) y
+
+let mem_flat t off ~y = mem_scan t.flat_xr y off (off + Sampler.d t.sampler)
+
+let mem_xr t ~x ~r ~y =
+  let key = key_xr t ~x ~r in
+  match I64_table.get t.xr key with
+  | q -> mem_array q y
+  | exception Not_found -> (
+    match I64_table.get t.xr_off key with
+    | i -> mem_flat t (i * Sampler.d t.sampler) ~y
+    | exception Not_found ->
+      let q = Sampler.quorum_xr t.sampler ~x ~r in
+      I64_table.set t.xr key q;
+      mem_array q y)
+
+let precompute_xr t pairs =
+  let d = Sampler.d t.sampler in
+  let fresh =
+    List.filter
+      (fun (x, r) ->
+        let key = key_xr t ~x ~r in
+        not (I64_table.mem t.xr_off key || I64_table.mem t.xr key))
+      pairs
+  in
+  let need = (t.flat_count + List.length fresh) * d in
+  if need > Array.length t.flat_xr then begin
+    let grown = Array.make (max need (2 * Array.length t.flat_xr)) (-1) in
+    Array.blit t.flat_xr 0 grown 0 (t.flat_count * d);
+    t.flat_xr <- grown
+  end;
+  List.iter
+    (fun (x, r) ->
+      let key = key_xr t ~x ~r in
+      (* [fresh] can list a key twice; only the first draw lands. *)
+      if not (I64_table.mem t.xr_off key) then begin
+        Sampler.quorum_into t.sampler (Sampler.key_xr t.sampler ~x ~r) t.flat_xr
+          ~pos:(t.flat_count * d);
+        I64_table.set t.xr_off key t.flat_count;
+        t.flat_count <- t.flat_count + 1
+      end)
+    fresh
+
+let precomputed_xr t = t.flat_count
+
+let iter_xr t ~x ~r f =
+  let key = key_xr t ~x ~r in
+  match I64_table.get t.xr_off key with
+  | i ->
+    let d = Sampler.d t.sampler in
+    let off = i * d in
+    for j = off to off + d - 1 do
+      f t.flat_xr.(j)
+    done
+  | exception Not_found -> Array.iter f (quorum_xr t ~x ~r)

@@ -5,7 +5,15 @@
     distinct keys: one (s, x) per string and node, one (x, r) per issued
     poll. Caching the quorum arrays turns each check into a d-element
     scan. Purely an evaluation cache — results are identical to calling
-    {!Sampler} directly. *)
+    {!Sampler} directly.
+
+    Lookups avoid the per-call (s, x)/(x, r) tuple boxing of a naive
+    [Hashtbl]: (s, x) keys resolve through a dense per-string row of
+    per-[x] slots (allocation-free hits), and (x, r) keys become a
+    single int64 — a precomputed per-[x] salt xor'd with [r] — probed
+    in an open-addressing table. {!precompute_xr} additionally batches
+    known poll lists into one flat [int array] (quorum [i] at offset
+    [i*d]) that membership tests and iteration read in place. *)
 
 type t
 
@@ -23,3 +31,16 @@ val quorum_xr : t -> x:int -> r:int64 -> int array
 (** Cached {!Sampler.quorum_xr}; same sharing caveat. *)
 
 val mem_xr : t -> x:int -> r:int64 -> y:int -> bool
+
+val precompute_xr : t -> (int * int64) list -> unit
+(** Materialize the poll lists J(x, r) for every listed (x, r) into the
+    flat store, one O(d)-hash draw each; pairs already evaluated are
+    skipped. Subsequent [mem_xr]/[iter_xr] on these keys read the flat
+    slab without allocating. *)
+
+val precomputed_xr : t -> int
+(** Number of quorums resident in the flat store. *)
+
+val iter_xr : t -> x:int -> r:int64 -> (int -> unit) -> unit
+(** Iterate the members of J(x, r) in draw order; allocation-free on
+    precomputed keys, falling back to the cached array otherwise. *)

@@ -39,12 +39,36 @@ val quorum_sx : t -> s:string -> x:int -> int array
     H. Deterministic in (seed, s, x); elements are distinct. *)
 
 val mem_sx : t -> s:string -> x:int -> y:int -> bool
-(** [mem_sx t ~s ~x ~y] iff [y] is in [quorum_sx t ~s ~x]. *)
+(** [mem_sx t ~s ~x ~y] iff [y] is in [quorum_sx t ~s ~x]. Early-exits
+    the counter-mode draw as soon as [y] appears; allocation-free. *)
 
 val quorum_xr : t -> x:int -> r:int64 -> int array
 (** Quorum keyed by a node and a random label — the shape of J. *)
 
 val mem_xr : t -> x:int -> r:int64 -> y:int -> bool
+
+(** {2 Key-state interface}
+
+    A quorum is a pure function of the absorbed 64-bit key state, so
+    the state works both as a compact cache key ({!Cache} uses it with
+    an open-addressing int64 table, avoiding per-lookup tuple boxing)
+    and as the input to batch evaluation into flat storage. *)
+
+val key_sx : t -> s:string -> x:int -> int64
+(** The absorbed key state of I/H-shaped quorums. *)
+
+val key_xr : t -> x:int -> r:int64 -> int64
+(** The absorbed key state of J-shaped quorums. *)
+
+val quorum_of_key : t -> int64 -> int array
+(** [quorum_of_key t (key_sx t ~s ~x)] = [quorum_sx t ~s ~x]. *)
+
+val quorum_into : t -> int64 -> int array -> pos:int -> unit
+(** Draw the quorum for a key state into [out.(pos .. pos + d - 1)] —
+    the building block of flat precomputed tables. *)
+
+val mem_of_key : t -> int64 -> y:int -> bool
+(** Early-exit membership on a key state; allocation-free. *)
 
 val majority_threshold : int -> int
 (** [majority_threshold k] is the smallest count that constitutes

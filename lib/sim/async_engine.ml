@@ -56,12 +56,17 @@ module Make (P : Protocol.S) = struct
     let states : P.state option array = Array.make n None in
     let outputs : string option array = Array.make n None in
     let undecided = ref 0 in
-    let queue : (int, P.msg Envelope.t list ref) Hashtbl.t = Hashtbl.create 97 in
+    (* Calendar queue: every delay is clamped to [1, max_delay], so a
+       message scheduled at time t lands strictly within the next
+       [max_delay] steps and a ring of [max_delay + 1] reusable Vec
+       buckets indexed by [at mod width] can never alias two distinct
+       due times that are both live. Scheduling is a push into a flat
+       buffer — no hashing, no list refs. *)
+    let width = adversary.max_delay + 1 in
+    let buckets : P.msg Envelope.t Vec.t array = Array.init width (fun _ -> Vec.create ()) in
     let pending = ref 0 in
     let schedule ~at e =
-      (match Hashtbl.find_opt queue at with
-      | Some l -> l := e :: !l
-      | None -> Hashtbl.add queue at (ref [ e ]));
+      Vec.push buckets.(at mod width) e;
       incr pending
     in
     let clamp_delay d = Intx.clamp ~lo:1 ~hi:adversary.max_delay d in
@@ -141,21 +146,23 @@ module Make (P : Protocol.S) = struct
         | None -> ()
         | Some st -> dispatch_correct ~time:t id (P.on_round config st ~round:t)
       done;
-      (* Deliver everything scheduled for t. *)
-      (match Hashtbl.find_opt queue t with
-      | None -> ()
-      | Some l ->
-        Hashtbl.remove queue t;
-        let deliveries = List.rev !l in
-        pending := !pending - List.length deliveries;
-        delivered_this_step := !delivered_this_step + List.length deliveries;
-        List.iter
-          (fun (e : P.msg Envelope.t) ->
-            match states.(e.Envelope.dst) with
-            | None -> ()
-            | Some st ->
-              dispatch_correct ~time:t e.dst (P.on_receive config st ~round:t ~src:e.src e.msg))
-          deliveries);
+      (* Deliver everything scheduled for t, in schedule order. Sends
+         triggered by these deliveries carry delay >= 1 < width, so they
+         land in other buckets, never the one being drained. *)
+      let bucket = buckets.(t mod width) in
+      let due = Vec.length bucket in
+      if due > 0 then begin
+        pending := !pending - due;
+        delivered_this_step := !delivered_this_step + due;
+        for i = 0 to due - 1 do
+          let e : P.msg Envelope.t = Vec.get bucket i in
+          match states.(e.Envelope.dst) with
+          | None -> ()
+          | Some st ->
+            dispatch_correct ~time:t e.dst (P.on_receive config st ~round:t ~src:e.src e.msg)
+        done;
+        Vec.clear bucket
+      end;
       dispatch_byzantine ~time:t (adversary.inject ~time:t);
       for id = 0 to n - 1 do
         check_decision ~time:t id

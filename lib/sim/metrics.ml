@@ -102,7 +102,7 @@ let max_decision_round_correct t =
 
 let merge_phases first second =
   if first.n <> second.n then invalid_arg "Metrics.merge_phases: size mismatch";
-  if Bitset.to_list first.corrupted <> Bitset.to_list second.corrupted then
+  if not (Bitset.equal first.corrupted second.corrupted) then
     invalid_arg "Metrics.merge_phases: corruption sets differ";
   let add a b = Array.init first.n (fun i -> a.(i) + b.(i)) in
   {

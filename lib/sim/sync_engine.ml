@@ -50,11 +50,18 @@ module Make (P : Protocol.S) = struct
     let states : P.state option array = Array.make n None in
     let outputs : string option array = Array.make n None in
     let undecided = ref 0 in
-    (* Messages sent by correct nodes during the current round. *)
-    let correct_out : P.msg Envelope.t list ref = ref [] in
+    (* Mailboxes: flat growable buffers reused across rounds, so the
+       steady-state engine allocates only the envelopes themselves.
+       [correct_out] collects the current round's correct sends,
+       [in_flight] holds what commit_round staged for next round, and
+       [deliveries] is the double buffer [in_flight] is swapped into
+       at delivery time. *)
+    let correct_out : P.msg Envelope.t Vec.t = Vec.create () in
+    let in_flight : P.msg Envelope.t Vec.t = Vec.create () in
+    let deliveries : P.msg Envelope.t Vec.t = Vec.create () in
     let send src (dst, msg) =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
-      correct_out := Envelope.make ~src ~dst msg :: !correct_out
+      Vec.push correct_out (Envelope.make ~src ~dst msg)
     in
     (* Round 0: initialize correct nodes. *)
     for id = 0 to n - 1 do
@@ -82,26 +89,31 @@ module Make (P : Protocol.S) = struct
     for id = 0 to n - 1 do
       check_decision ~round:0 id
     done;
-    (* In-flight messages, to be delivered next round. *)
-    let in_flight : P.msg Envelope.t list ref = ref [] in
+    let record (e : P.msg Envelope.t) =
+      Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg)
+    in
     let commit_round ~round ~prev_correct =
-      (* Ask the adversary for its round-[round] messages. *)
+      (* Ask the adversary for its round-[round] messages. The adversary
+         interface stays list-based; the per-round list materialization
+         here is the price of its full-information contract. *)
+      let this_round_correct = Vec.to_list correct_out in
       let observed =
-        match mode with `Rushing -> List.rev !correct_out | `Non_rushing -> prev_correct
+        match mode with `Rushing -> this_round_correct | `Non_rushing -> prev_correct
       in
       let byz = adversary.act ~round ~observed in
       List.iter (validate_adversary_envelope ~n ~corrupted) byz;
-      let this_round_correct = List.rev !correct_out in
       (* Byzantine messages are delivered before correct ones next
          round: adversary-favorable tie-breaking, so races (e.g. the
          overload filter of Algorithm 3) resolve for the worst case. *)
-      let all = byz @ this_round_correct in
+      Vec.clear in_flight;
       List.iter
-        (fun (e : P.msg Envelope.t) ->
-          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg))
-        all;
-      in_flight := all;
-      correct_out := [];
+        (fun e ->
+          record e;
+          Vec.push in_flight e)
+        byz;
+      Vec.iter record correct_out;
+      Vec.append in_flight correct_out;
+      Vec.clear correct_out;
       this_round_correct
     in
     let prev_correct = ref (commit_round ~round:0 ~prev_correct:[]) in
@@ -114,7 +126,7 @@ module Make (P : Protocol.S) = struct
     let quiet = ref 0 in
     let last_active = ref 0 in
     (* Main loop: rounds 1 .. max_rounds. *)
-    let continue = ref (!undecided > 0 || !in_flight <> []) in
+    let continue = ref (!undecided > 0 || not (Vec.is_empty in_flight)) in
     while !continue && !round < max_rounds do
       incr round;
       let r = !round in
@@ -124,10 +136,13 @@ module Make (P : Protocol.S) = struct
         | None -> ()
         | Some st -> List.iter (send id) (P.on_round config st ~round:r)
       done;
-      (* Deliver last round's messages. *)
-      let deliveries = !in_flight in
-      in_flight := [];
-      List.iter
+      (* Deliver last round's messages: swap the staged mailbox into the
+         delivery buffer so [send] can refill [correct_out]/[in_flight]
+         while we iterate. *)
+      Vec.swap deliveries in_flight;
+      Vec.clear in_flight;
+      let delivered_any = not (Vec.is_empty deliveries) in
+      Vec.iter
         (fun (e : P.msg Envelope.t) ->
           match states.(e.Envelope.dst) with
           | None -> () (* destination is Byzantine: adversary saw it via observed *)
@@ -137,13 +152,14 @@ module Make (P : Protocol.S) = struct
         check_decision ~round:r id
       done;
       prev_correct := commit_round ~round:r ~prev_correct:!prev_correct;
-      if deliveries = [] && !in_flight = [] then incr quiet
+      if (not delivered_any) && Vec.is_empty in_flight then incr quiet
       else begin
         quiet := 0;
         last_active := r
       end;
       continue :=
-        (!undecided > 0 || !in_flight <> [] || !prev_correct <> []) && !quiet < quiet_limit
+        (!undecided > 0 || not (Vec.is_empty in_flight) || !prev_correct <> [])
+        && !quiet < quiet_limit
     done;
     let rounds_used = if !quiet > 0 then !last_active else !round in
     Metrics.set_rounds metrics rounds_used;

@@ -70,6 +70,10 @@ let fold f init t =
   iter (fun i -> acc := f !acc i) t;
   !acc
 
+(* Phantom bits past [capacity] are kept zero by every constructor
+   (complement masks them), so a raw byte comparison is sound. *)
+let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words
+
 let same_capacity a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
 

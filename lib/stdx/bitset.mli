@@ -25,6 +25,9 @@ val cardinal : t -> int
 
 val is_empty : t -> bool
 
+val equal : t -> t -> bool
+(** Same capacity and same members. O(capacity/8), no allocation. *)
+
 val copy : t -> t
 
 val clear : t -> unit

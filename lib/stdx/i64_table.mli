@@ -1,0 +1,31 @@
+(** Open-addressing hash table keyed by [int64].
+
+    Built for the sampler caches: quorum lookups key on the absorbed
+    64-bit hash state of [(s, x)] or [(x, r)], so a generic [Hashtbl]
+    over those tuples boxes a fresh key on every probe. This table
+    probes with the int64 directly — no per-lookup allocation on hits
+    ([get] raises [Not_found] instead of returning an option) — using
+    linear probing over a power-of-two slot array at load factor
+    <= 1/2. Keys cannot be removed; [clear] drops everything. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of distinct keys present. *)
+
+val mem : 'a t -> int64 -> bool
+
+val get : 'a t -> int64 -> 'a
+(** Raises [Not_found]; allocation-free on the hit path. *)
+
+val find_opt : 'a t -> int64 -> 'a option
+
+val set : 'a t -> int64 -> 'a -> unit
+(** Insert or replace. *)
+
+val clear : 'a t -> unit
+(** Forget all bindings, retaining storage. *)
+
+val iter : (int64 -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,51 @@
+(** Growable arrays for allocation-free hot loops.
+
+    The simulation engines route every message through per-round
+    mailboxes; cons-list accumulation allocates two to three words per
+    message per round on top of the envelope itself. A [Vec] amortizes
+    that to zero: the backing array is reused across rounds ([clear]
+    keeps storage), and double-buffered mailboxes exchange their
+    contents with [swap] instead of copying. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty vector with no storage; the first [push] allocates. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Replace an existing element; raises [Invalid_argument] out of
+    bounds (cannot extend — use [push]). *)
+
+val push : 'a t -> 'a -> unit
+(** Append, doubling the backing array when full (amortized O(1)). *)
+
+val clear : 'a t -> unit
+(** Set the length to zero. Storage is retained for reuse, so
+    previously pushed elements stay reachable until overwritten. *)
+
+val swap : 'a t -> 'a t -> unit
+(** Exchange the contents (storage and length) of two vectors in O(1). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in push order over the elements present when iteration of
+    each index occurs; elements pushed mid-iteration are visited. *)
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto [dst]. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+(** Elements in push order. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the live prefix. *)
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Build everything and run the test suite — the gate `bench/main.exe
+# perf --json` insists on before recording performance numbers.
+set -e
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest

@@ -13,4 +13,5 @@ let () =
          Test_extensions.suites;
          Test_harness.suites;
          Test_props.suites;
+         Test_determinism.suites;
        ])

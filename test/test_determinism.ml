@@ -1,0 +1,110 @@
+(* Engine-determinism goldens.
+
+   The mailbox/calendar-queue engine internals and the sampler cache
+   layout are pure performance work: for a fixed (setup, n, seed) they
+   must reproduce the exact per-node traffic and decision history the
+   cons-list engines produced. Two layers of evidence:
+
+   - recorded golden runs at n = 256: a 64-bit fingerprint over every
+     node's sent/received message and bit counters plus its decision
+     round, checked against values recorded from the pre-refactor
+     engines — any reordering of deliveries, adversary observations or
+     sampler draws shows up here;
+   - a qcheck property that running the same scenario twice (and the
+     sync engine against a fresh scenario value) is bit-identical, so
+     engine state can't leak across runs through reused storage. *)
+
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+module Metrics = Fba_sim.Metrics
+open Fba_core
+open Fba_stdx
+module Aer_sync = Fba_sim.Sync_engine.Make (Aer)
+module Aer_async = Fba_sim.Async_engine.Make (Aer)
+
+let fingerprint m =
+  let h = ref (Hash64.init 0x600DL) in
+  let n = Metrics.n m in
+  for i = 0 to n - 1 do
+    h := Hash64.add_int !h (Metrics.sent_messages_of m i);
+    h := Hash64.add_int !h (Metrics.sent_bits_of m i);
+    h := Hash64.add_int !h (Metrics.recv_messages_of m i);
+    h := Hash64.add_int !h (Metrics.recv_bits_of m i);
+    h := Hash64.add_int !h (match Metrics.decision_round m i with None -> -1 | Some r -> r)
+  done;
+  Hash64.finish (Hash64.add_int !h (Metrics.rounds m))
+
+(* Mirrors Runner.run_aer_sync's quiescence window so the goldens pin
+   the same executions the harness produces. *)
+let quiet_limit_of sc =
+  if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+    Params.(sc.Scenario.params.repoll_timeout) + 2
+  else 3
+
+let run_sync ~n ~seed adv =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+  let cfg = Aer.config_of_scenario sc in
+  let res =
+    Aer_sync.run ~quiet_limit:(quiet_limit_of sc) ~config:cfg ~n ~seed ~adversary:(adv sc)
+      ~mode:`Rushing ~max_rounds:300 ()
+  in
+  res.Fba_sim.Sync_engine.metrics
+
+let run_async ~n ~seed adv =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+  let cfg = Aer.config_of_scenario sc in
+  let res = Aer_async.run ~config:cfg ~n ~seed ~adversary:(adv sc) ~max_time:4000 () in
+  res.Fba_sim.Async_engine.metrics
+
+let check_golden name ~fp ~bits ~msgs ~rounds ~decided m =
+  Alcotest.(check int) (name ^ " total bits") bits (Metrics.total_bits_correct m);
+  Alcotest.(check int) (name ^ " total msgs") msgs (Metrics.total_messages_correct m);
+  Alcotest.(check int) (name ^ " rounds") rounds (Metrics.rounds m);
+  Alcotest.(check int) (name ^ " decided") decided (Metrics.decided_count m);
+  if not (Int64.equal fp (fingerprint m)) then
+    Alcotest.failf "%s fingerprint drifted: got 0x%LxL, recorded 0x%LxL" name (fingerprint m) fp
+
+(* Recorded from the seed (pre-refactor) engines at n=256, seed=7. *)
+let test_golden_sync_silent () =
+  check_golden "sync-silent" ~fp:0xaea3f126fbae39daL ~bits:84037104 ~msgs:505908 ~rounds:6
+    ~decided:231
+    (run_sync ~n:256 ~seed:7L Attacks.silent)
+
+let test_golden_sync_cornering () =
+  check_golden "sync-cornering" ~fp:0x13bb2c9332c814d7L ~bits:93214536 ~msgs:560854 ~rounds:6
+    ~decided:231
+    (run_sync ~n:256 ~seed:7L (fun sc -> Attacks.cornering sc))
+
+let test_golden_async_cornering () =
+  check_golden "async-cornering" ~fp:0xb7148be671e42b29L ~bits:93214536 ~msgs:560854 ~rounds:20
+    ~decided:231
+    (run_async ~n:256 ~seed:7L (fun sc -> Attacks.async_cornering sc))
+
+let arb_run =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%Ld" n seed)
+    QCheck.Gen.(pair (int_range 24 64) (map Int64.of_int (int_range 1 1000)))
+
+let prop_sync_run_twice =
+  QCheck.Test.make ~name:"sync run twice is bit-identical" ~count:10 arb_run (fun (n, seed) ->
+      let fp1 = fingerprint (run_sync ~n ~seed (fun sc -> Attacks.cornering sc)) in
+      let fp2 = fingerprint (run_sync ~n ~seed (fun sc -> Attacks.cornering sc)) in
+      Int64.equal fp1 fp2)
+
+let prop_async_run_twice =
+  QCheck.Test.make ~name:"async run twice is bit-identical" ~count:6 arb_run (fun (n, seed) ->
+      let fp1 = fingerprint (run_async ~n ~seed (fun sc -> Attacks.async_cornering sc)) in
+      let fp2 = fingerprint (run_async ~n ~seed (fun sc -> Attacks.async_cornering sc)) in
+      Int64.equal fp1 fp2)
+
+let suites =
+  [
+    ( "determinism.golden",
+      [
+        Alcotest.test_case "aer sync silent n=256" `Slow test_golden_sync_silent;
+        Alcotest.test_case "aer sync cornering n=256" `Slow test_golden_sync_cornering;
+        Alcotest.test_case "aer async cornering n=256" `Slow test_golden_async_cornering;
+      ] );
+    ( "determinism.qcheck",
+      List.map QCheck_alcotest.to_alcotest [ prop_sync_run_twice; prop_async_run_twice ] );
+  ]

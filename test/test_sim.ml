@@ -160,6 +160,56 @@ let test_async_delay_clamping () =
   Alcotest.(check (option int)) "clamped delay" (Some 2)
     (Metrics.decision_round res.Async_engine.metrics 1)
 
+(* The async engine keeps its pending messages in a calendar queue of
+   [max_delay + 1] buckets indexed by [time mod width]; these two tests
+   drive the token around that ring several times so bucket reuse and
+   the wrap-around indexing are both exercised. *)
+let test_async_calendar_wraparound () =
+  let n = 4 in
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
+      Async_engine.max_delay = 2;
+      (* width 3 *)
+      delay = (fun ~time _ -> 1 + (time mod 2));
+    }
+  in
+  let res = Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:100 () in
+  Alcotest.(check bool) "all decided" true res.Async_engine.all_decided;
+  (* Hops: 0->1 sent at t=0 (delay 1), 1->2 at t=1 (delay 2),
+     2->3 at t=3 (delay 2): arrivals 1, 3, 5 — the width-3 bucket ring
+     is reused on every lap. *)
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "node %d decision time" (i + 1))
+        (Some expected)
+        (Metrics.decision_round res.Async_engine.metrics (i + 1)))
+    [ 1; 3; 5 ]
+
+let test_async_calendar_mixed_delays () =
+  let n = 5 in
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
+      Async_engine.max_delay = 3;
+      (* width 4 *)
+      delay = (fun ~time:_ (e : Ring.msg Envelope.t) -> if e.Envelope.dst mod 2 = 0 then 1 else 3);
+    }
+  in
+  let res = Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:100 () in
+  Alcotest.(check bool) "all decided" true res.Async_engine.all_decided;
+  (* Arrivals 3, 4, 7, 8 land in buckets 3, 0, 3, 0 of the width-4
+     ring: alternating delays make consecutive laps collide on the
+     same bucket index without ever aliasing two live due-times. *)
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "node %d decision time" (i + 1))
+        (Some expected)
+        (Metrics.decision_round res.Async_engine.metrics (i + 1)))
+    [ 3; 4; 7; 8 ]
+
 let test_async_injection_validation () =
   let n = 3 in
   let corrupted = Bitset.of_list n [ 1 ] in
@@ -264,6 +314,8 @@ let suites =
       [
         Alcotest.test_case "delayed delivery" `Quick test_async_delays;
         Alcotest.test_case "delay clamping" `Quick test_async_delay_clamping;
+        Alcotest.test_case "calendar-queue wrap-around" `Quick test_async_calendar_wraparound;
+        Alcotest.test_case "calendar-queue mixed delays" `Quick test_async_calendar_mixed_delays;
         Alcotest.test_case "injection validation" `Quick test_async_injection_validation;
       ] );
     ( "sim.trace",

@@ -213,6 +213,103 @@ let test_bitset_copy_clear () =
   Bitset.clear b;
   Alcotest.(check int) "clear" 0 (Bitset.cardinal b)
 
+let test_bitset_equal () =
+  let a = Bitset.of_list 70 [ 0; 33; 69 ] in
+  let b = Bitset.of_list 70 [ 0; 33; 69 ] in
+  let c = Bitset.of_list 70 [ 0; 33 ] in
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Alcotest.(check bool) "unequal members" false (Bitset.equal a c);
+  Alcotest.(check bool) "unequal capacity" false (Bitset.equal a (Bitset.of_list 71 [ 0; 33; 69 ]));
+  (* add + remove must leave no phantom bits behind *)
+  Bitset.add c 69;
+  Bitset.add c 42;
+  Bitset.remove c 42;
+  Alcotest.(check bool) "equal after add/remove" true (Bitset.equal a c)
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 7);
+  Alcotest.(check (list int)) "to_list order" [ 0; 1; 4 ]
+    (Vec.to_list v |> List.filteri (fun i _ -> i < 3));
+  Alcotest.(check int) "fold" (Vec.fold_left ( + ) 0 v)
+    (Array.fold_left ( + ) 0 (Vec.to_array v))
+
+let test_vec_clear_reuse () =
+  let v = Vec.create () in
+  Vec.push v "a";
+  Vec.push v "b";
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v "c";
+  Alcotest.(check string) "reused storage" "c" (Vec.get v 0);
+  Alcotest.(check (list string)) "of_list round trip" [ "x"; "y" ]
+    (Vec.to_list (Vec.of_list [ "x"; "y" ]))
+
+let test_vec_swap () =
+  let a = Vec.of_list [ 1; 2; 3 ] and b = Vec.of_list [ 9 ] in
+  Vec.swap a b;
+  Alcotest.(check (list int)) "a got b" [ 9 ] (Vec.to_list a);
+  Alcotest.(check (list int)) "b got a" [ 1; 2; 3 ] (Vec.to_list b);
+  let sink = Vec.create () in
+  Vec.append sink a;
+  Vec.append sink b;
+  Alcotest.(check (list int)) "append concatenates" [ 9; 1; 2; 3 ] (Vec.to_list sink)
+
+let test_vec_iter_sees_mid_iteration_pushes () =
+  let v = Vec.of_list [ 0; 1; 2 ] in
+  let seen = ref [] in
+  Vec.iter (fun x ->
+      seen := x :: !seen;
+      if x < 2 then Vec.push v (x + 10))
+    v;
+  (* iter re-reads the length, so elements pushed during iteration are
+     visited too — the delivery loops rely on this. *)
+  Alcotest.(check (list int)) "visited appended" [ 0; 1; 2; 10; 11 ] (List.rev !seen)
+
+(* --- I64_table --- *)
+
+let test_i64_table_basic () =
+  let t = I64_table.create () in
+  Alcotest.(check int) "fresh" 0 (I64_table.length t);
+  Alcotest.(check bool) "0L absent" false (I64_table.mem t 0L);
+  I64_table.set t 0L "zero";
+  I64_table.set t Int64.min_int "min";
+  I64_table.set t (-1L) "m1";
+  Alcotest.(check string) "get 0L" "zero" (I64_table.get t 0L);
+  Alcotest.(check string) "get min" "min" (I64_table.get t Int64.min_int);
+  Alcotest.(check (option string)) "find_opt hit" (Some "m1") (I64_table.find_opt t (-1L));
+  Alcotest.(check (option string)) "find_opt miss" None (I64_table.find_opt t 17L);
+  Alcotest.check_raises "get miss" Not_found (fun () -> ignore (I64_table.get t 17L));
+  I64_table.set t 0L "zero'";
+  Alcotest.(check string) "overwrite" "zero'" (I64_table.get t 0L);
+  Alcotest.(check int) "length counts keys" 3 (I64_table.length t)
+
+let test_i64_table_grow () =
+  let t = I64_table.create () in
+  let key i = Int64.mul (Int64.of_int i) 0x10000001L in
+  for i = 0 to 999 do
+    I64_table.set t (key i) i
+  done;
+  Alcotest.(check int) "length" 1000 (I64_table.length t);
+  for i = 0 to 999 do
+    if I64_table.get t (key i) <> i then Alcotest.failf "lost key %d across growth" i
+  done;
+  let sum = ref 0 in
+  I64_table.iter (fun _ v -> sum := !sum + v) t;
+  Alcotest.(check int) "iter visits all" (999 * 1000 / 2) !sum;
+  I64_table.clear t;
+  Alcotest.(check int) "clear" 0 (I64_table.length t);
+  Alcotest.(check bool) "cleared key gone" false (I64_table.mem t (key 5))
+
 (* --- Stats --- *)
 
 let feq msg expected actual = Alcotest.(check (float 1e-9)) msg expected actual
@@ -356,6 +453,19 @@ let suites =
         Alcotest.test_case "complement" `Quick test_bitset_complement;
         Alcotest.test_case "count_in" `Quick test_bitset_count_in;
         Alcotest.test_case "copy/clear" `Quick test_bitset_copy_clear;
+        Alcotest.test_case "equal" `Quick test_bitset_equal;
+      ] );
+    ( "stdx.vec",
+      [
+        Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+        Alcotest.test_case "clear reuses storage" `Quick test_vec_clear_reuse;
+        Alcotest.test_case "swap/append" `Quick test_vec_swap;
+        Alcotest.test_case "iter sees appended" `Quick test_vec_iter_sees_mid_iteration_pushes;
+      ] );
+    ( "stdx.i64_table",
+      [
+        Alcotest.test_case "basics" `Quick test_i64_table_basic;
+        Alcotest.test_case "growth keeps keys" `Quick test_i64_table_grow;
       ] );
     ( "stdx.stats",
       [
