@@ -113,41 +113,115 @@ let run_ba_cmd =
 
 (* --- fba trace --- *)
 
-let run_trace n byz know seed attack =
-  let module Traced = Fba_sim.Trace.Traced (Fba_core.Aer) in
-  let module Engine = Fba_sim.Sync_engine.Make (Traced) in
+module Events = Fba_sim.Events
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE"
+        ~doc:"Write the raw event stream as JSON Lines to $(docv) (\"-\" for stdout).")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Print the per-round kind table as CSV, not markdown.")
+
+let run_trace n byz know seed attack mode jsonl csv =
   let setup =
     { Runner.default_setup with
       Runner.byzantine_fraction = byz;
       knowledgeable_fraction = know }
   in
   let sc = Runner.scenario_of_setup setup ~n ~seed:(Int64.of_int seed) in
+  let sink = Events.create () in
+  (* Per-round deliveries by kind, fed from the event stream (the old
+     [Trace.Traced] wrapper is no longer needed here). *)
   let trace = Fba_sim.Trace.create () in
-  let adversary =
+  Events.attach sink (function
+    | Events.Deliver { round; kind; _ } -> Fba_sim.Trace.record trace ~round ~kind
+    | _ -> ());
+  let close_jsonl =
+    match jsonl with
+    | None -> fun () -> ()
+    | Some "-" ->
+      Events.attach sink (Events.Jsonl.writer stdout);
+      fun () -> flush stdout
+    | Some path ->
+      let oc = open_out path in
+      Events.attach sink (Events.Jsonl.writer oc);
+      fun () -> close_out oc
+  in
+  let acc =
+    Events.Phase_acc.create ~classify:(fun ~kind -> Fba_core.Aer.phase_of_kind kind) ~n ()
+  in
+  let sync_attack sc =
     match attack with
     | `Silent -> Attacks.silent sc
     | `Flood -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ])
     | `Cornering -> Attacks.cornering sc
     | `Capture -> Attacks.quorum_capture sc
   in
-  let res =
-    Engine.run
-      ~config:(Fba_core.Aer.config_of_scenario sc, trace)
-      ~n ~seed:(Int64.of_int seed) ~adversary ~mode:`Rushing ~max_rounds:100 ()
+  let run, norm =
+    match mode with
+    | `Async ->
+      let adversary sc =
+        match attack with
+        | `Cornering -> Attacks.async_cornering sc
+        | _ -> Attacks.async_of_sync sc (sync_attack sc)
+      in
+      let r, norm = Runner.run_aer_async ~events:sink ~phase_acc:acc ~adversary sc in
+      (r, Some norm)
+    | (`Rushing | `Non_rushing) as m ->
+      (Runner.run_aer_sync ~mode:m ~events:sink ~phase_acc:acc ~adversary:sync_attack sc, None)
   in
-  Format.printf "AER execution trace, n=%d (message deliveries per round, by kind)@.@." n;
-  print_string (Fba_sim.Trace.render trace);
-  Format.printf "@.decided: %d/%d correct nodes in %d rounds@."
-    (Fba_sim.Metrics.decided_count res.Fba_sim.Sync_engine.metrics)
-    n
-    (Fba_sim.Metrics.rounds res.Fba_sim.Sync_engine.metrics);
-  0
+  close_jsonl ();
+  let obs = run.Runner.obs in
+  let clock = match mode with `Async -> "time step" | _ -> "round" in
+  if jsonl <> Some "-" then begin
+    Format.printf "AER execution trace, n=%d byzantine=%.2f attack=%s@.@." n byz
+      (match attack with
+      | `Silent -> "silent"
+      | `Flood -> "flood"
+      | `Cornering -> "cornering"
+      | `Capture -> "capture");
+    Format.printf "Phase activations (first %s each phase became active):@." clock;
+    List.iter
+      (fun (name, round) -> Format.printf "  %-12s %s %d@." name clock round)
+      (Events.phases_seen sink);
+    Format.printf "@.Phase timeline (traffic split by message kind -> phase):@.@.";
+    print_string (Events.Phase_acc.render acc);
+    Format.printf "@.Deliveries per %s, by message kind:@.@." clock;
+    print_string
+      (if csv then Fba_sim.Trace.to_csv trace else Fba_sim.Trace.render trace);
+    Format.printf "@.decided: %.3f of correct nodes  agreed: %.3f  %ss: %d%s@."
+      obs.Fba_harness.Obs.decided_fraction obs.Fba_harness.Obs.agreed_fraction clock
+      obs.Fba_harness.Obs.rounds
+      (match norm with Some x -> Printf.sprintf " (normalized rounds %.1f)" x | None -> "")
+  end;
+  (* Accounting cross-check: kind-based phase attribution must repartition
+     the run's total traffic exactly. *)
+  let phase_bits = Events.Phase_acc.total_bits acc in
+  let total_bits = obs.Fba_harness.Obs.total_bits_all in
+  if phase_bits = total_bits then begin
+    if jsonl <> Some "-" then
+      Format.printf "phase bits check: sum over phases = %d = Metrics.total_bits_all@."
+        phase_bits;
+    0
+  end
+  else begin
+    Format.eprintf "phase bits MISMATCH: phases sum to %d but Metrics.total_bits_all = %d@."
+      phase_bits total_bits;
+    1
+  end
 
 let trace_cmd =
-  let doc = "Print the per-round message-kind trace of one AER execution." in
+  let doc =
+    "Trace one AER execution: phase timeline, per-round message kinds, optional JSONL export."
+  in
   Cmd.v
     (Cmd.info "trace" ~doc)
-    Term.(const run_trace $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg)
+    Term.(
+      const run_trace $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg
+      $ jsonl_arg $ csv_arg)
 
 (* --- fba experiment --- *)
 

@@ -10,9 +10,10 @@ type config = {
   qj : Cache.t;  (* poll lists J *)
   plan : Push_plan.t;  (* inverse of I, for the push fan-out *)
   strict_drop : bool;  (* drop belief-mismatched messages instead of buffering *)
+  events : Fba_sim.Events.sink option;  (* phase-marker sink, observation only *)
 }
 
-let config_of_scenario ?(strict_drop = false) (scenario : Scenario.t) =
+let config_of_scenario ?(strict_drop = false) ?events (scenario : Scenario.t) =
   let params = scenario.Scenario.params in
   let si = Params.sampler_i params in
   {
@@ -23,6 +24,7 @@ let config_of_scenario ?(strict_drop = false) (scenario : Scenario.t) =
     qj = Cache.create (Params.sampler_j params);
     plan = Push_plan.create ~sampler:si;
     strict_drop;
+    events;
   }
 
 let config_params c = c.params
@@ -60,6 +62,7 @@ type poll = {
 
 type state = {
   ctx : Fba_sim.Ctx.t;
+  mutable cur_round : int;  (* last round seen, for phase-marker stamps *)
   mutable belief : string;  (* s_this *)
   mutable decided : string option;
   candidates : (string, unit) Hashtbl.t;  (* L_x *)
@@ -81,6 +84,21 @@ type state = {
 
 let name = "aer"
 
+(* Message kind -> protocol phase, for Events.Phase_acc. *)
+let phase_of_kind = function
+  | "Push" -> "push"
+  | "Poll" | "Pull" | "Answer" -> "poll"
+  | "Fw1" -> "fw1"
+  | "Fw2" -> "fw2"
+  | kind -> kind
+
+(* Announce a phase transition (first activation only; Events.phase
+   dedups). Pure observation: never changes protocol behaviour. *)
+let mark cfg st name =
+  match cfg.events with
+  | None -> ()
+  | Some k -> Fba_sim.Events.phase k ~round:st.cur_round name
+
 let count_of tbl key = match Hashtbl.find_opt tbl key with Some c -> set_card c | None -> 0
 
 let counter_of tbl key =
@@ -101,6 +119,7 @@ let answer_count st s =
 
 (* Algorithm 1: poll a fresh random sample and the pull quorum for s. *)
 let issue_poll ?(round = 0) cfg st s =
+  mark cfg st "poll";
   let id = st.ctx.Fba_sim.Ctx.id in
   let r = Prng.int64 st.ctx.Fba_sim.Ctx.rng in
   (match Hashtbl.find_opt st.polls s with
@@ -189,6 +208,7 @@ and handle_pull cfg st ~src s r =
     else begin
       (* Algorithm 2, first handler: fan the request out to the pull
          quorums of every poll-list member. *)
+      mark cfg st "fw1";
       let outs = ref [] in
       Array.iter
         (fun w ->
@@ -225,6 +245,7 @@ and handle_fw1 cfg st ~src ~x s r w =
         if set_add rc.f1_served w then (w, Msg.Fw2 { x; s; r }) :: acc else acc
       in
       if c >= maj then begin
+        mark cfg st "fw2";
         if newly && c = maj then
           (* Majority just reached: serve every verified target once. *)
           Hashtbl.fold serve rc.f1_targets []
@@ -302,6 +323,7 @@ let init cfg ctx =
   let st =
     {
       ctx;
+      cur_round = 0;
       belief = s0;
       decided = None;
       candidates = Hashtbl.create 8;
@@ -320,6 +342,7 @@ let init cfg ctx =
     }
   in
   Hashtbl.add st.candidates s0 ();
+  mark cfg st "push";
   let push_msg = Msg.Push s0 in
   let pushes =
     Array.to_list
@@ -333,6 +356,7 @@ let init cfg ctx =
    max_poll_attempts. With the default budget of 1 attempt this hook is
    inert and the protocol is exactly the paper's. *)
 let on_round cfg st ~round =
+  st.cur_round <- round;
   if st.decided <> None || cfg.params.Params.max_poll_attempts <= 1 then []
   else begin
     let due = ref [] in
@@ -346,7 +370,9 @@ let on_round cfg st ~round =
     List.concat_map (fun s -> issue_poll ~round cfg st s) !due
   end
 
-let on_receive cfg st ~round:_ ~src m = dispatch cfg st ~src m
+let on_receive cfg st ~round ~src m =
+  st.cur_round <- round;
+  dispatch cfg st ~src m
 
 let output st = st.decided
 

@@ -27,19 +27,31 @@
 
 type config
 
-val config_of_scenario : ?strict_drop:bool -> Scenario.t -> config
+val config_of_scenario : ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> Scenario.t -> config
 (** Shared immutable setup (samplers, memoized quorums, initial
     candidate assignment). The same value must be used for every node
     of an execution — quorum caches inside are shared deliberately.
     [strict_drop] (default false) applies the paper's pseudo-code
     literally, dropping belief-mismatched messages instead of buffering
     them (DESIGN.md substitution 6) — exposed for the ablation that
-    shows why we buffer. *)
+    shows why we buffer. [events] receives {!Fba_sim.Events.Phase}
+    markers at the protocol's natural transitions (push → poll → fw1 →
+    fw2); pass the same sink to the engine to interleave them with the
+    message events. Markers never alter protocol behaviour. *)
 
 val config_params : config -> Params.t
 val config_scenario : config -> Scenario.t
 
 include Fba_sim.Protocol.S with type config := config and type msg = Msg.t
+
+val phase_of_kind : string -> string
+(** Map a message kind (first token of {!Msg.pp}) onto the protocol
+    phase it belongs to: Push ↦ "push"; Poll, Pull and Answer ↦ "poll"
+    (the Algorithm 1 poll round-trip); Fw1 ↦ "fw1"; Fw2 ↦ "fw2"
+    (the Algorithm 2/3 forwarding bursts). Unknown kinds map to
+    themselves. The classifier for {!Fba_sim.Events.Phase_acc}: because
+    every message belongs to exactly one phase, per-phase bits sum to
+    [Metrics.total_bits_all]. *)
 
 (** {2 State inspection (experiments and tests)} *)
 

@@ -209,7 +209,7 @@ let semantics_sweep ~full ~out =
               ~adversary:(Attacks.silent sc) ~mode:`Rushing ~max_rounds:200 ()
           in
           Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics
-            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring))
+            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring) ())
         (Runner.seeds (seed_count full))
     in
     let s = Obs.aggregate runs in

@@ -46,7 +46,7 @@ let run_rba ~coin ~n ~seeds =
         in
         let obs =
           Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics
-            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:None
+            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:None ()
         in
         ( float_of_int obs.Obs.rounds,
           obs.Obs.bits_per_node,
@@ -79,7 +79,7 @@ let run_pk ~n ~seeds =
         in
         let obs =
           Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics
-            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:None
+            ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:None ()
         in
         (float_of_int obs.Obs.rounds, obs.Obs.bits_per_node, obs.Obs.agreed_fraction))
       seeds

@@ -172,8 +172,30 @@ let end_to_end ~full ~out =
   output_string out (Table.to_markdown tbl);
   Printf.fprintf out "\n"
 
+(* Per-phase breakdown next to the lemma gauges: the same flooding
+   workload as [push_and_safety], split by protocol phase so each lemma
+   can be read against the traffic of the phase it bounds (Lemma 3/5 →
+   push, Lemma 4/6 → poll, Lemmas on forwarding → fw1/fw2). *)
+let phase_breakdown ~full ~out =
+  let setup = { Runner.default_setup with Runner.junk = Scenario.Junk_shared 2 } in
+  let n = List.fold_left max 0 (sizes full) in
+  let seed = List.hd (Runner.seeds 1) in
+  let sc = Runner.scenario_of_setup setup ~n ~seed in
+  let adversary sc =
+    Attacks.(compose sc [ push_flood ~fake_strings:3 sc; wrong_answer sc ])
+  in
+  let run, acc = Runner.run_aer_phases ~adversary sc in
+  Printf.fprintf out
+    "\n### Per-phase traffic (same adversary as the push/safety table, n=%d, one seed)\n\n\
+     Phase attribution is by message kind (push / poll / fw1 / fw2), so the bits column \
+     sums exactly to the run's total %d bits.\n\n"
+    n run.Runner.obs.Obs.total_bits_all;
+  output_string out (Fba_sim.Events.Phase_acc.render acc);
+  Printf.fprintf out "\n"
+
 let run ?(full = false) ~out () =
   Printf.fprintf out "## Lemma-level reproduction\n\n";
   push_and_safety ~full ~out;
   decision_time ~full ~out;
-  end_to_end ~full ~out
+  end_to_end ~full ~out;
+  phase_breakdown ~full ~out

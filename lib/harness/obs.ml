@@ -10,9 +10,11 @@ type observation = {
   p95_decision_round : float;
   bits_per_node : float;
   msgs_per_node : float;
+  total_bits_all : int;
   max_sent_bits : int;
   max_recv_bits : int;
   load_imbalance : float;
+  phases : Fba_sim.Events.Phase_acc.row list;
 }
 
 let plurality_reference outputs corrupted =
@@ -29,7 +31,7 @@ let plurality_reference outputs corrupted =
     counts None
   |> Option.map fst
 
-let of_metrics ~metrics ~outputs ~reference =
+let of_metrics ?(phases = []) ~metrics ~outputs ~reference () =
   let n = Fba_sim.Metrics.n metrics in
   let corrupted = Fba_sim.Metrics.corrupted metrics in
   let reference =
@@ -50,6 +52,9 @@ let of_metrics ~metrics ~outputs ~reference =
         if reference = Some v then incr agreed else incr wrong
     end
   done;
+  (* [max 1] guards keep every fraction 0. (not NaN) when the correct
+     set is empty — metrics over a fully corrupted execution must stay
+     aggregatable. *)
   let correct_f = float_of_int (max 1 !correct) in
   let dr = Array.of_list !decision_rounds in
   {
@@ -62,10 +67,12 @@ let of_metrics ~metrics ~outputs ~reference =
     p95_decision_round = (if Array.length dr = 0 then 0.0 else Stats.percentile dr 95.0);
     bits_per_node = Fba_sim.Metrics.amortized_bits metrics;
     msgs_per_node =
-      float_of_int (Fba_sim.Metrics.total_messages_correct metrics) /. float_of_int n;
+      float_of_int (Fba_sim.Metrics.total_messages_correct metrics) /. float_of_int (max 1 n);
+    total_bits_all = Fba_sim.Metrics.total_bits_all metrics;
     max_sent_bits = Fba_sim.Metrics.max_sent_bits_correct metrics;
     max_recv_bits = Fba_sim.Metrics.max_recv_bits_correct metrics;
     load_imbalance = Fba_sim.Metrics.load_imbalance metrics;
+    phases;
   }
 
 type summary = {

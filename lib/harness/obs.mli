@@ -13,19 +13,27 @@ type observation = {
   p95_decision_round : float;  (** over correct nodes that decided *)
   bits_per_node : float;  (** amortized over n, correct senders only *)
   msgs_per_node : float;  (** messages amortized over n, correct senders only *)
+  total_bits_all : int;  (** bits sent by everyone, Byzantine included *)
   max_sent_bits : int;
   max_recv_bits : int;
   load_imbalance : float;
+  phases : Fba_sim.Events.Phase_acc.row list;
+      (** per-phase breakdown when the run was traced (see
+          {!Fba_sim.Events.Phase_acc}); [[]] otherwise *)
 }
 
 val of_metrics :
+  ?phases:Fba_sim.Events.Phase_acc.row list ->
   metrics:Fba_sim.Metrics.t ->
   outputs:string option array ->
   reference:string option ->
+  unit ->
   observation
 (** Reduce one engine result. [reference] is the value correct nodes
     were supposed to decide (gstring); [None] means plurality of
-    correct outputs is used. *)
+    correct outputs is used. All fractions are 0. (never NaN) when the
+    correct set is empty. [phases] defaults to the empty list for
+    untraced runs. *)
 
 type summary = {
   s_n : int;

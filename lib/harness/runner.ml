@@ -67,8 +67,24 @@ let aer_gauges (sc : Scenario.t) states =
     states;
   (!push_max, !cand_sum, !cand_max, !missing)
 
-let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ~adversary (sc : Scenario.t) =
-  let cfg = Aer.config_of_scenario sc in
+(* When a phase accumulator is supplied, make sure a sink exists and
+   the accumulator listens on it; [Obs.of_metrics] then gets the rows. *)
+let wire_phase_acc events phase_acc =
+  match phase_acc with
+  | None -> events
+  | Some acc ->
+    let sink = match events with Some k -> k | None -> Fba_sim.Events.create () in
+    Fba_sim.Events.attach sink (Fba_sim.Events.Phase_acc.consumer acc);
+    Some sink
+
+let phase_rows = function
+  | None -> []
+  | Some acc -> Fba_sim.Events.Phase_acc.rows acc
+
+let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adversary
+    (sc : Scenario.t) =
+  let events = wire_phase_acc events phase_acc in
+  let cfg = Aer.config_of_scenario ?events sc in
   let n = Scenario.(sc.params.Params.n) in
   (* Re-polling nodes wake up after repoll_timeout idle rounds; the
      quiescence cutoff must not fire before then. *)
@@ -78,34 +94,43 @@ let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ~adversary (sc : Scenari
     else 3
   in
   let res =
-    Aer_sync.run ~quiet_limit ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Aer_sync.run ~quiet_limit ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
       ~adversary:(adversary sc) ~mode ~max_rounds ()
   in
   let obs =
-    Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
-      ~reference:(Some sc.Scenario.gstring)
+    Obs.of_metrics ~phases:(phase_rows phase_acc) ~metrics:res.Fba_sim.Sync_engine.metrics
+      ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
     aer_gauges sc res.Fba_sim.Sync_engine.states
   in
   { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing }
 
-let run_aer_async ?(max_time = 4000) ~adversary (sc : Scenario.t) =
-  let cfg = Aer.config_of_scenario sc in
+let run_aer_async ?(max_time = 4000) ?events ?phase_acc ~adversary (sc : Scenario.t) =
+  let events = wire_phase_acc events phase_acc in
+  let cfg = Aer.config_of_scenario ?events sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
-    Aer_async.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Aer_async.run ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
       ~adversary:(adversary sc) ~max_time ()
   in
   let obs =
-    Obs.of_metrics ~metrics:res.Fba_sim.Async_engine.metrics
-      ~outputs:res.Fba_sim.Async_engine.outputs ~reference:(Some sc.Scenario.gstring)
+    Obs.of_metrics ~phases:(phase_rows phase_acc) ~metrics:res.Fba_sim.Async_engine.metrics
+      ~outputs:res.Fba_sim.Async_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
     aer_gauges sc res.Fba_sim.Async_engine.states
   in
   ( { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing },
     res.Fba_sim.Async_engine.normalized_rounds )
+
+let run_aer_phases ?mode ?max_rounds ~adversary (sc : Scenario.t) =
+  let n = Scenario.(sc.params.Params.n) in
+  let acc =
+    Fba_sim.Events.Phase_acc.create ~classify:(fun ~kind -> Aer.phase_of_kind kind) ~n ()
+  in
+  let run = run_aer_sync ?mode ?max_rounds ~phase_acc:acc ~adversary sc in
+  (run, acc)
 
 let str_bits (sc : Scenario.t) = 8 * String.length sc.Scenario.gstring
 
@@ -120,7 +145,7 @@ let run_grid (sc : Scenario.t) =
       ~mode:`Rushing ~max_rounds:(Grid.total_rounds + 2) ()
   in
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
-    ~reference:(Some sc.Scenario.gstring)
+    ~reference:(Some sc.Scenario.gstring) ()
 
 let run_naive ?(flood = false) (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
@@ -144,7 +169,7 @@ let run_naive ?(flood = false) (sc : Scenario.t) =
       | _ -> ())
     res.Fba_sim.Sync_engine.states;
   ( Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics
-      ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring),
+      ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring) (),
     !worst_replies )
 
 module Ks09 = Fba_baselines.Ks09_aetoe
@@ -164,7 +189,7 @@ let run_ks09 ?(flood = false) (sc : Scenario.t) =
       ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
   in
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
-    ~reference:(Some sc.Scenario.gstring)
+    ~reference:(Some sc.Scenario.gstring) ()
 
 module Relay = Fba_extensions.Committee_relay
 module Relay_sync = Fba_sim.Sync_engine.Make (Relay)
@@ -182,6 +207,6 @@ let run_relay (sc : Scenario.t) =
       ~mode:`Rushing ~max_rounds:(Relay.total_rounds + 2) ()
   in
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
-    ~reference:(Some sc.Scenario.gstring)
+    ~reference:(Some sc.Scenario.gstring) ()
 
 let seeds k = List.init k (fun i -> Int64.of_int ((1013 * (i + 1)) + 7))

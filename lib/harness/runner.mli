@@ -32,16 +32,36 @@ type aer_run = {
 val run_aer_sync :
   ?mode:Fba_sim.Sync_engine.mode ->
   ?max_rounds:int ->
+  ?events:Fba_sim.Events.sink ->
+  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
   adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
   Scenario.t ->
   aer_run
+(** [events] traces the execution (engine traffic + protocol phase
+    markers); [phase_acc] additionally attaches a per-phase accumulator
+    to the sink (creating one if [events] was not given) and fills
+    [obs.phases] with its rows. Omitting both keeps the run on the
+    zero-allocation untraced path. *)
 
 val run_aer_async :
   ?max_time:int ->
+  ?events:Fba_sim.Events.sink ->
+  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
   adversary:(Scenario.t -> Fba_adversary.Aer_attacks.async) ->
   Scenario.t ->
   aer_run * float
-(** Also returns the normalized round count (time / max_delay). *)
+(** Also returns the normalized round count (time / max_delay).
+    [events]/[phase_acc] as in {!run_aer_sync}. *)
+
+val run_aer_phases :
+  ?mode:Fba_sim.Sync_engine.mode ->
+  ?max_rounds:int ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
+  Scenario.t ->
+  aer_run * Fba_sim.Events.Phase_acc.t
+(** {!run_aer_sync} with a fresh phase accumulator classifying message
+    kinds via {!Fba_core.Aer.phase_of_kind}; returns the accumulator
+    alongside the run (whose [obs.phases] is already filled). *)
 
 val run_grid : Scenario.t -> Obs.observation
 (** Grid baseline on the same workload (silent adversary — its

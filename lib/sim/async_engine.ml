@@ -47,7 +47,7 @@ module Make (P : Protocol.S) = struct
 
   type nonrec result = P.state result
 
-  let run ?(quiet_limit = 6) ~(config : P.config) ~n ~seed ~(adversary : adversary)
+  let run ?(quiet_limit = 6) ?events ~(config : P.config) ~n ~seed ~(adversary : adversary)
       ~max_time () =
     if adversary.max_delay < 1 then invalid_arg "Async_engine: max_delay < 1";
     if quiet_limit < 1 then invalid_arg "Async_engine: quiet_limit < 1";
@@ -70,6 +70,21 @@ module Make (P : Protocol.S) = struct
       incr pending
     in
     let clamp_delay d = Intx.clamp ~lo:1 ~hi:adversary.max_delay d in
+    (* Tracing sites are guarded on [events]: a disabled run performs no
+       extra work and no extra allocation. *)
+    let trace_msg ~time ~byzantine ~delay (e : P.msg Envelope.t) =
+      match events with
+      | None -> ()
+      | Some k ->
+        let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
+        let bits = P.msg_bits config e.Envelope.msg in
+        if byzantine then
+          Events.emit k
+            (Events.Inject { round = time; src = e.src; dst = e.dst; kind; bits; delay })
+        else
+          Events.emit k
+            (Events.Send { round = time; src = e.src; dst = e.dst; kind; bits; delay })
+    in
     (* Activity counters for quiescence detection. *)
     let sends_this_step = ref 0 in
     let delivered_this_step = ref 0 in
@@ -87,7 +102,9 @@ module Make (P : Protocol.S) = struct
       List.iter
         (fun (e : P.msg Envelope.t) ->
           Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
-          schedule ~at:(time + clamp_delay (adversary.delay ~time e)) e)
+          let d = clamp_delay (adversary.delay ~time e) in
+          trace_msg ~time ~byzantine:false ~delay:d e;
+          schedule ~at:(time + d) e)
         envs
     in
     let dispatch_byzantine ~time pairs =
@@ -98,7 +115,9 @@ module Make (P : Protocol.S) = struct
           if not (Bitset.mem corrupted e.src) then
             invalid_arg "Async_engine: adversary may only send from corrupted identities";
           Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
-          schedule ~at:(time + clamp_delay d) e)
+          let d = clamp_delay d in
+          trace_msg ~time ~byzantine:true ~delay:d e;
+          schedule ~at:(time + d) e)
         pairs
     in
     let check_decision ~time id =
@@ -110,11 +129,17 @@ module Make (P : Protocol.S) = struct
           | Some v ->
             outputs.(id) <- Some v;
             Metrics.record_decision metrics ~id ~round:time;
-            decr undecided
+            decr undecided;
+            (match events with
+            | None -> ()
+            | Some k -> Events.emit k (Events.Decide { round = time; id; value = v }))
           | None -> ())
       end
     in
     (* Time 0: initialization. *)
+    (match events with
+    | None -> ()
+    | Some k -> Events.emit k (Events.Round_start { round = 0 }));
     for id = 0 to n - 1 do
       if not (Bitset.mem corrupted id) then begin
         let ctx = Ctx.make ~n ~id ~seed in
@@ -138,6 +163,9 @@ module Make (P : Protocol.S) = struct
     while !continue && !time < max_time do
       incr time;
       let t = !time in
+      (match events with
+      | None -> ()
+      | Some k -> Events.emit k (Events.Round_start { round = t }));
       sends_this_step := 0;
       delivered_this_step := 0;
       (* Clock hook for correct nodes. *)
@@ -157,8 +185,32 @@ module Make (P : Protocol.S) = struct
         for i = 0 to due - 1 do
           let e : P.msg Envelope.t = Vec.get bucket i in
           match states.(e.Envelope.dst) with
-          | None -> ()
+          | None ->
+            (match events with
+            | None -> ()
+            | Some k ->
+              Events.emit k
+                (Events.Drop
+                   {
+                     round = t;
+                     src = e.src;
+                     dst = e.dst;
+                     kind = Events.kind_of_pp P.pp_msg e.msg;
+                     reason = "byzantine-dst";
+                   }))
           | Some st ->
+            (match events with
+            | None -> ()
+            | Some k ->
+              Events.emit k
+                (Events.Deliver
+                   {
+                     round = t;
+                     src = e.src;
+                     dst = e.dst;
+                     kind = Events.kind_of_pp P.pp_msg e.msg;
+                     bits = P.msg_bits config e.msg;
+                   }));
             dispatch_correct ~time:t e.dst (P.on_receive config st ~round:t ~src:e.src e.msg)
         done;
         Vec.clear bucket

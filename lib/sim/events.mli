@@ -1,0 +1,185 @@
+(** Structured execution events: the phase-aware trace pipeline.
+
+    The paper's communication bounds are per-phase (Lemmas 3–10 bound
+    pushes, polls and the Fw1/Fw2 bursts separately), so whole-run
+    {!Metrics} aggregates are too coarse to diagnose a lemma-gauge
+    regression. This module defines typed trace events emitted by the
+    engines ({!Sync_engine}, {!Async_engine}) and by protocols (phase
+    markers), and pluggable consumers: a preallocated ring buffer, an
+    unbounded in-memory collector, a JSONL writer, and a phase
+    accumulator that splits every [Metrics]-style counter by protocol
+    phase.
+
+    Tracing is strictly opt-in: engines take an optional [?events]
+    sink, and every emission site is guarded so a disabled run performs
+    no extra work and no extra allocation (the perf-regression gate of
+    [bench perf --json] is measured with tracing off and must not
+    move). *)
+
+type event =
+  | Round_start of { round : int }
+      (** Engine clock tick ([round] is the async time step for the
+          asynchronous engine). *)
+  | Phase of { round : int; name : string }
+      (** A protocol announced that phase [name] became active. Emitted
+          via {!phase}, which deduplicates: each name appears once, at
+          the round of its first activation. *)
+  | Send of { round : int; src : int; dst : int; kind : string; bits : int; delay : int }
+      (** A correct node sent a message. [delay] is the delivery delay
+          in engine steps (always 1 for the synchronous engine, the
+          adversary-chosen clamped delay for the asynchronous one). *)
+  | Inject of { round : int; src : int; dst : int; kind : string; bits : int; delay : int }
+      (** The adversary sent a message from a corrupted identity. *)
+  | Deliver of { round : int; src : int; dst : int; kind : string; bits : int }
+      (** A message reached a correct node's handler. *)
+  | Drop of { round : int; src : int; dst : int; kind : string; reason : string }
+      (** A message was discarded by the engine instead of delivered
+          (e.g. the destination is a Byzantine identity with no state
+          machine behind it). *)
+  | Decide of { round : int; id : int; value : string }
+      (** Node [id] fixed its output. *)
+
+val kind_of_pp : (Format.formatter -> 'msg -> unit) -> 'msg -> string
+(** First token of the message's [pp] rendering ("Fw1(x=3, ...)" ->
+    "Fw1") — the kind label engines stamp on message events. *)
+
+(** {1 Sinks}
+
+    A sink fans each event out to its attached consumers, in attach
+    order. Consumers are plain [event -> unit] functions, so the ring
+    buffer, the JSONL writer and the phase accumulator below compose
+    freely and callers can attach ad-hoc closures. *)
+
+type sink
+
+val create : unit -> sink
+(** A sink with no consumers. Emitting into it only costs the
+    consumer-list walk (i.e. nothing). *)
+
+val attach : sink -> (event -> unit) -> unit
+
+val emit : sink -> event -> unit
+
+val phase : sink -> round:int -> string -> unit
+(** [phase sink ~round name] emits [Phase {round; name}] the first time
+    [name] is announced and is a no-op afterwards. Protocol phases
+    overlap across nodes (every AER node pushes {e and} polls from
+    round 0), so the marker stream records each phase's activation
+    round rather than pretending execution is globally sequential. *)
+
+val phases_seen : sink -> (string * int) list
+(** Announced phases with their activation rounds, in announcement
+    order. *)
+
+(** {1 Preallocated ring buffer}
+
+    Bounded trace retention for long executions: the backing array is
+    allocated once at [create] and the newest events overwrite the
+    oldest on wrap-around. *)
+
+module Ring : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val consumer : t -> event -> unit
+  (** Attach with {!attach}. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Events currently retained ([<= capacity]). *)
+
+  val total : t -> int
+  (** Events ever consumed, including overwritten ones. *)
+
+  val to_list : t -> event list
+  (** Retained events, oldest first. *)
+end
+
+(** {1 Unbounded in-memory collector} *)
+
+module Memory : sig
+  type t
+
+  val create : unit -> t
+  val consumer : t -> event -> unit
+  val length : t -> int
+  val iter : (event -> unit) -> t -> unit
+  val to_list : t -> event list
+end
+
+(** {1 JSONL export}
+
+    One JSON object per event, one event per line: machine-readable
+    traces for offline analysis. Every object carries an ["ev"]
+    discriminator and a ["round"]; the remaining keys depend on the
+    event. Strings are escaped so that every line is valid ASCII JSON
+    even when values carry arbitrary bytes (gstrings are random). *)
+
+module Jsonl : sig
+  val escape : string -> string
+  (** JSON string-body escaping: quote, backslash and control
+      characters per RFC 8259, plus non-ASCII bytes as [\u00XX] so the
+      output never contains invalid UTF-8. *)
+
+  val to_string : event -> string
+  (** The event's JSON object, without a trailing newline. *)
+
+  val consumer : Buffer.t -> event -> unit
+  (** Appends [to_string event ^ "\n"] to the buffer. *)
+
+  val writer : out_channel -> event -> unit
+  (** Writes [to_string event ^ "\n"] to the channel. *)
+end
+
+(** {1 Phase accumulator}
+
+    Splits the [Metrics] counters by protocol phase. Each [Send] and
+    [Inject] is attributed to the phase [classify ~kind] names — for
+    AER, {!Fba_core.Aer.phase_of_kind} maps message kinds onto the
+    push/poll/fw1/fw2/answer pipeline. Classification is by message
+    kind rather than by the latest {!Phase} marker because phases
+    overlap in time across nodes; kind-based attribution keeps the
+    invariant that per-phase bits sum exactly to
+    [Metrics.total_bits_all]. *)
+
+module Phase_acc : sig
+  type t
+
+  type row = {
+    phase : string;
+    first_round : int;  (** round of the first event attributed to the phase *)
+    last_round : int;
+    msgs_correct : int;
+    msgs_byz : int;
+    bits_correct : int;
+    bits_byz : int;
+    max_sent_bits : int;  (** heaviest correct sender within the phase *)
+    max_recv_bits : int;  (** heaviest correct receiver within the phase *)
+    max_fanout : int;  (** most messages sent by one correct node in the phase *)
+  }
+
+  val create : ?classify:(kind:string -> string) -> n:int -> unit -> t
+  (** [classify] defaults to the identity (each message kind is its own
+      phase). [n] is the system size, for the per-node maxima. *)
+
+  val consumer : t -> event -> unit
+
+  val rows : t -> row list
+  (** One row per phase, in first-attribution order. *)
+
+  val total_bits : t -> int
+  (** Sum of [bits_correct + bits_byz] over all rows — equals
+      [Metrics.total_bits_all] of the same run when the accumulator saw
+      every send. *)
+
+  val total_messages : t -> int
+
+  val render : t -> string
+  (** Markdown phase timeline: one row per phase with its round span,
+      message counts (correct and Byzantine), bits per node (correct
+      senders, amortized over the accumulator's [n]) and worst fan-out,
+      plus a stable [total] row. *)
+end

@@ -70,7 +70,11 @@ let max_recv_bits_correct t = max_where t t.recv_bits
 
 let load_imbalance t =
   let correct = t.n - Bitset.cardinal t.corrupted in
-  if correct = 0 then 1.0
+  (* Degenerate cases return 0. rather than dividing: with no correct
+     node (or no correct traffic at all) there is no mean load, and
+     pretending the execution was "perfectly balanced" (1.0) would hide
+     a fully corrupted or fully silent run in aggregated tables. *)
+  if correct = 0 then 0.0
   else begin
     let total = ref 0 and peak = ref 0 in
     for i = 0 to t.n - 1 do
@@ -80,7 +84,7 @@ let load_imbalance t =
         peak := max !peak load
       end
     done;
-    if !total = 0 then 1.0
+    if !total = 0 then 0.0
     else float_of_int !peak /. (float_of_int !total /. float_of_int correct)
   end
 

@@ -51,7 +51,9 @@ val max_recv_bits_correct : t -> int
 
 val load_imbalance : t -> float
 (** max correct node traffic (sent+received) divided by the mean;
-    1.0 is perfectly balanced. *)
+    1.0 is perfectly balanced. Degenerate executions — an empty correct
+    set, or no correct node having sent or received anything — return
+    0. instead of dividing by zero. *)
 
 val decision_round : t -> int -> int option
 

@@ -42,7 +42,7 @@ module Make (P : Protocol.S) = struct
     if not (Bitset.mem corrupted e.src) then
       invalid_arg "Sync_engine: adversary may only send from corrupted identities"
 
-  let run ?(quiet_limit = 3) ~(config : P.config) ~n ~seed ~(adversary : adversary)
+  let run ?(quiet_limit = 3) ?events ~(config : P.config) ~n ~seed ~(adversary : adversary)
       ~(mode : mode) ~max_rounds () =
     if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
     let corrupted = adversary.corrupted in
@@ -63,6 +63,22 @@ module Make (P : Protocol.S) = struct
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
       Vec.push correct_out (Envelope.make ~src ~dst msg)
     in
+    (* Every tracing site is guarded on [events] so a disabled run does
+       no extra work (and no allocation) in the hot loops. *)
+    let trace_msg ~round ~byzantine (e : P.msg Envelope.t) =
+      match events with
+      | None -> ()
+      | Some k ->
+        let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
+        let bits = P.msg_bits config e.Envelope.msg in
+        if byzantine then
+          Events.emit k
+            (Events.Inject { round; src = e.src; dst = e.dst; kind; bits; delay = 1 })
+        else Events.emit k (Events.Send { round; src = e.src; dst = e.dst; kind; bits; delay = 1 })
+    in
+    (match events with
+    | None -> ()
+    | Some k -> Events.emit k (Events.Round_start { round = 0 }));
     (* Round 0: initialize correct nodes. *)
     for id = 0 to n - 1 do
       if not (Bitset.mem corrupted id) then begin
@@ -82,7 +98,10 @@ module Make (P : Protocol.S) = struct
           | Some v ->
             outputs.(id) <- Some v;
             Metrics.record_decision metrics ~id ~round;
-            decr undecided
+            decr undecided;
+            (match events with
+            | None -> ()
+            | Some k -> Events.emit k (Events.Decide { round; id; value = v }))
           | None -> ())
       end
     in
@@ -109,9 +128,13 @@ module Make (P : Protocol.S) = struct
       List.iter
         (fun e ->
           record e;
+          trace_msg ~round ~byzantine:true e;
           Vec.push in_flight e)
         byz;
       Vec.iter record correct_out;
+      (match events with
+      | None -> ()
+      | Some _ -> Vec.iter (trace_msg ~round ~byzantine:false) correct_out);
       Vec.append in_flight correct_out;
       Vec.clear correct_out;
       this_round_correct
@@ -130,6 +153,9 @@ module Make (P : Protocol.S) = struct
     while !continue && !round < max_rounds do
       incr round;
       let r = !round in
+      (match events with
+      | None -> ()
+      | Some k -> Events.emit k (Events.Round_start { round = r }));
       (* Clock hook. *)
       for id = 0 to n - 1 do
         match states.(id) with
@@ -145,8 +171,34 @@ module Make (P : Protocol.S) = struct
       Vec.iter
         (fun (e : P.msg Envelope.t) ->
           match states.(e.Envelope.dst) with
-          | None -> () (* destination is Byzantine: adversary saw it via observed *)
-          | Some st -> List.iter (send e.dst) (P.on_receive config st ~round:r ~src:e.src e.msg))
+          | None ->
+            (* Destination is Byzantine: adversary saw it via observed. *)
+            (match events with
+            | None -> ()
+            | Some k ->
+              Events.emit k
+                (Events.Drop
+                   {
+                     round = r;
+                     src = e.src;
+                     dst = e.dst;
+                     kind = Events.kind_of_pp P.pp_msg e.msg;
+                     reason = "byzantine-dst";
+                   }))
+          | Some st ->
+            (match events with
+            | None -> ()
+            | Some k ->
+              Events.emit k
+                (Events.Deliver
+                   {
+                     round = r;
+                     src = e.src;
+                     dst = e.dst;
+                     kind = Events.kind_of_pp P.pp_msg e.msg;
+                     bits = P.msg_bits config e.msg;
+                   }));
+            List.iter (send e.dst) (P.on_receive config st ~round:r ~src:e.src e.msg))
         deliveries;
       for id = 0 to n - 1 do
         check_decision ~round:r id

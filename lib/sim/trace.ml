@@ -18,7 +18,18 @@ let rounds t = t.max_round + 1
 
 let count t ~round ~kind = Option.value ~default:0 (Hashtbl.find_opt t.counts (round, kind))
 
-let render t =
+let total t ~kind =
+  let acc = ref 0 in
+  for round = 0 to t.max_round do
+    acc := !acc + count t ~round ~kind
+  done;
+  !acc
+
+(* Shared by the markdown and CSV renderings: one row per round, one
+   right-aligned count column per kind, and a stable trailing "total"
+   row (present even when nothing was recorded, so downstream parsers
+   can rely on it). *)
+let to_table t =
   let ks = kinds t in
   let tbl =
     Fba_stdx.Table.create
@@ -28,7 +39,13 @@ let render t =
     Fba_stdx.Table.add_row tbl
       (string_of_int round :: List.map (fun k -> string_of_int (count t ~round ~kind:k)) ks)
   done;
-  Fba_stdx.Table.to_markdown tbl
+  Fba_stdx.Table.add_row tbl
+    ("total" :: List.map (fun k -> string_of_int (total t ~kind:k)) ks);
+  tbl
+
+let render t = Fba_stdx.Table.to_markdown (to_table t)
+
+let to_csv t = Fba_stdx.Table.to_csv (to_table t)
 
 (* First token of the pp rendering, e.g. "Fw1(x=3, ...)" -> "Fw1". *)
 let kind_of_pp pp msg =

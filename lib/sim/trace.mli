@@ -22,8 +22,17 @@ val rounds : t -> int
 
 val count : t -> round:int -> kind:string -> int
 
+val total : t -> kind:string -> int
+(** Sum of [count] over all rounds. *)
+
 val render : t -> string
-(** A markdown table: one row per round, one column per kind. *)
+(** A markdown table: one row per round, one right-aligned count column
+    per kind, plus a stable trailing [total] row (emitted even for an
+    empty trace). *)
+
+val to_csv : t -> string
+(** The same table as {!render}, as RFC-4180-ish CSV — the
+    kind-per-round counts in machine-readable form. *)
 
 (** Wrap a protocol so that every received message is recorded into the
     given trace. The wrapped protocol is otherwise bit-for-bit

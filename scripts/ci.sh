@@ -5,3 +5,36 @@ set -e
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+
+# Trace pipeline smoke test: the fba trace subcommand must succeed on a
+# small scenario (its exit status already enforces the per-phase bits
+# == Metrics.total_bits_all cross-check) and its JSONL export must be
+# one parseable JSON object per line with the required keys.
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+dune exec bin/fba.exe -- trace -n 48 --attack flood --jsonl "$jsonl" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$jsonl" <<'EOF'
+import json, sys
+evs = {"round_start", "phase", "send", "inject", "deliver", "drop", "decide"}
+lines = 0
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        try:
+            o = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"line {i}: invalid JSON: {e}")
+        if not isinstance(o, dict):
+            sys.exit(f"line {i}: not a JSON object")
+        if "ev" not in o or "round" not in o:
+            sys.exit(f"line {i}: missing required key (ev/round): {o}")
+        if o["ev"] not in evs:
+            sys.exit(f"line {i}: unknown ev {o['ev']!r}")
+        lines += 1
+if lines == 0:
+    sys.exit("JSONL trace is empty")
+print(f"trace JSONL ok: {lines} events")
+EOF
+else
+  echo "python3 not found; skipping JSONL validation" >&2
+fi

@@ -41,20 +41,20 @@ let quiet_limit_of sc =
     Params.(sc.Scenario.params.repoll_timeout) + 2
   else 3
 
-let run_sync ~n ~seed adv =
+let run_sync_res ?events ~n ~seed adv =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
-  let cfg = Aer.config_of_scenario sc in
-  let res =
-    Aer_sync.run ~quiet_limit:(quiet_limit_of sc) ~config:cfg ~n ~seed ~adversary:(adv sc)
-      ~mode:`Rushing ~max_rounds:300 ()
-  in
-  res.Fba_sim.Sync_engine.metrics
+  let cfg = Aer.config_of_scenario ?events sc in
+  Aer_sync.run ~quiet_limit:(quiet_limit_of sc) ?events ~config:cfg ~n ~seed ~adversary:(adv sc)
+    ~mode:`Rushing ~max_rounds:300 ()
 
-let run_async ~n ~seed adv =
+let run_sync ~n ~seed adv = (run_sync_res ~n ~seed adv).Fba_sim.Sync_engine.metrics
+
+let run_async_res ?events ~n ~seed adv =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
-  let cfg = Aer.config_of_scenario sc in
-  let res = Aer_async.run ~config:cfg ~n ~seed ~adversary:(adv sc) ~max_time:4000 () in
-  res.Fba_sim.Async_engine.metrics
+  let cfg = Aer.config_of_scenario ?events sc in
+  Aer_async.run ?events ~config:cfg ~n ~seed ~adversary:(adv sc) ~max_time:4000 ()
+
+let run_async ~n ~seed adv = (run_async_res ~n ~seed adv).Fba_sim.Async_engine.metrics
 
 let check_golden name ~fp ~bits ~msgs ~rounds ~decided m =
   Alcotest.(check int) (name ^ " total bits") bits (Metrics.total_bits_correct m);
@@ -97,6 +97,44 @@ let prop_async_run_twice =
       let fp2 = fingerprint (run_async ~n ~seed (fun sc -> Attacks.async_cornering sc)) in
       Int64.equal fp1 fp2)
 
+(* Event tracing must be pure observation: a run with a loaded sink
+   (ring buffer + phase accumulator + JSONL buffer, i.e. every shipped
+   consumer) produces bit-identical metrics and the same decision
+   vector as the untraced run. *)
+let loaded_sink ~n =
+  let sink = Fba_sim.Events.create () in
+  let ring = Fba_sim.Events.Ring.create ~capacity:512 in
+  Fba_sim.Events.attach sink (Fba_sim.Events.Ring.consumer ring);
+  let acc =
+    Fba_sim.Events.Phase_acc.create ~classify:(fun ~kind -> Aer.phase_of_kind kind) ~n ()
+  in
+  Fba_sim.Events.attach sink (Fba_sim.Events.Phase_acc.consumer acc);
+  let buf = Buffer.create 4096 in
+  Fba_sim.Events.attach sink (Fba_sim.Events.Jsonl.consumer buf);
+  sink
+
+let prop_sync_events_transparent =
+  QCheck.Test.make ~name:"sync tracing is pure observation" ~count:10 arb_run
+    (fun (n, seed) ->
+      let adv sc = Attacks.cornering sc in
+      let plain = run_sync_res ~n ~seed adv in
+      let traced = run_sync_res ~events:(loaded_sink ~n) ~n ~seed adv in
+      Int64.equal
+        (fingerprint plain.Fba_sim.Sync_engine.metrics)
+        (fingerprint traced.Fba_sim.Sync_engine.metrics)
+      && plain.Fba_sim.Sync_engine.outputs = traced.Fba_sim.Sync_engine.outputs)
+
+let prop_async_events_transparent =
+  QCheck.Test.make ~name:"async tracing is pure observation" ~count:6 arb_run
+    (fun (n, seed) ->
+      let adv sc = Attacks.async_cornering sc in
+      let plain = run_async_res ~n ~seed adv in
+      let traced = run_async_res ~events:(loaded_sink ~n) ~n ~seed adv in
+      Int64.equal
+        (fingerprint plain.Fba_sim.Async_engine.metrics)
+        (fingerprint traced.Fba_sim.Async_engine.metrics)
+      && plain.Fba_sim.Async_engine.outputs = traced.Fba_sim.Async_engine.outputs)
+
 let suites =
   [
     ( "determinism.golden",
@@ -106,5 +144,11 @@ let suites =
         Alcotest.test_case "aer async cornering n=256" `Slow test_golden_async_cornering;
       ] );
     ( "determinism.qcheck",
-      List.map QCheck_alcotest.to_alcotest [ prop_sync_run_twice; prop_async_run_twice ] );
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_sync_run_twice;
+          prop_async_run_twice;
+          prop_sync_events_transparent;
+          prop_async_events_transparent;
+        ] );
   ]

@@ -16,7 +16,7 @@ let test_obs_of_metrics () =
   Fba_sim.Metrics.record_decision m ~id:1 ~round:4;
   Fba_sim.Metrics.set_rounds m 5;
   let outputs = [| Some "g"; Some "bad"; None; Some "g" |] in
-  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:(Some "g") in
+  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:(Some "g") () in
   Alcotest.(check int) "rounds" 5 obs.Obs.rounds;
   (* 3 correct nodes: 0 decided g, 1 decided bad, 2 undecided. *)
   Alcotest.(check (float 0.001)) "decided" (2.0 /. 3.0) obs.Obs.decided_fraction;
@@ -29,7 +29,7 @@ let test_obs_plurality_reference () =
   let m = mk_metrics ~n:3 ~corrupted_ids:[] in
   Fba_sim.Metrics.set_rounds m 1;
   let outputs = [| Some "a"; Some "a"; Some "b" |] in
-  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:None in
+  let obs = Obs.of_metrics ~metrics:m ~outputs ~reference:None () in
   Alcotest.(check (float 0.001)) "plurality wins" (2.0 /. 3.0) obs.Obs.agreed_fraction
 
 let test_obs_aggregate () =
@@ -39,7 +39,7 @@ let test_obs_aggregate () =
     Fba_sim.Metrics.record_decision m ~id:0 ~round:rounds;
     Fba_sim.Metrics.record_decision m ~id:1 ~round:rounds;
     Fba_sim.Metrics.set_rounds m rounds;
-    Obs.of_metrics ~metrics:m ~outputs:[| Some "g"; Some "g" |] ~reference:(Some "g")
+    Obs.of_metrics ~metrics:m ~outputs:[| Some "g"; Some "g" |] ~reference:(Some "g") ()
   in
   let s = Obs.aggregate [ mk_obs 2 10; mk_obs 4 30 ] in
   Alcotest.(check int) "runs" 2 s.Obs.runs;
@@ -48,6 +48,38 @@ let test_obs_aggregate () =
   Alcotest.(check (option int)) "worst decision" (Some 4) s.Obs.worst_decision_round;
   Alcotest.check_raises "empty rejected" (Invalid_argument "Obs.aggregate: empty") (fun () ->
       ignore (Obs.aggregate []))
+
+let test_obs_all_corrupted_guard () =
+  (* Every node Byzantine: all fractions must come out 0., never NaN. *)
+  let m = mk_metrics ~n:3 ~corrupted_ids:[ 0; 1; 2 ] in
+  Fba_sim.Metrics.record_send m ~src:0 ~dst:1 ~bits:50;
+  Fba_sim.Metrics.set_rounds m 2;
+  let obs = Obs.of_metrics ~metrics:m ~outputs:[| None; None; None |] ~reference:None () in
+  Alcotest.(check (float 0.0)) "decided" 0.0 obs.Obs.decided_fraction;
+  Alcotest.(check (float 0.0)) "agreed" 0.0 obs.Obs.agreed_fraction;
+  Alcotest.(check (float 0.0)) "imbalance" 0.0 obs.Obs.load_imbalance;
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) (name ^ " not NaN") false (Float.is_nan v))
+    [
+      ("decided", obs.Obs.decided_fraction);
+      ("agreed", obs.Obs.agreed_fraction);
+      ("bits/node", obs.Obs.bits_per_node);
+      ("msgs/node", obs.Obs.msgs_per_node);
+      ("imbalance", obs.Obs.load_imbalance);
+    ];
+  Alcotest.(check int) "byz bits still counted" 50 obs.Obs.total_bits_all
+
+let test_obs_silent_correct_guard () =
+  (* Correct nodes exist but none of them ever sends. *)
+  let m = mk_metrics ~n:4 ~corrupted_ids:[ 3 ] in
+  Fba_sim.Metrics.set_rounds m 1;
+  let obs =
+    Obs.of_metrics ~metrics:m ~outputs:[| None; None; None; None |] ~reference:(Some "g") ()
+  in
+  Alcotest.(check (float 0.0)) "imbalance" 0.0 obs.Obs.load_imbalance;
+  Alcotest.(check (float 0.0)) "bits/node" 0.0 obs.Obs.bits_per_node;
+  Alcotest.(check bool) "imbalance not NaN" false (Float.is_nan obs.Obs.load_imbalance);
+  Alcotest.(check (list Alcotest.reject)) "no phases on untraced runs" [] obs.Obs.phases
 
 (* --- Runner + composition, fast smoke-level checks --- *)
 
@@ -66,6 +98,39 @@ let test_runner_end_to_end () =
 let test_runner_seeds_stable () =
   Alcotest.(check (list int64)) "fixed seed list" [ 1020L; 2033L ]
     (Runner.seeds 2)
+
+let test_runner_phase_breakdown () =
+  (* The per-phase split must repartition the run's traffic exactly:
+     bits over phases sum to Metrics.total_bits_all, messages to the
+     total message count, and the phase names are AER's pipeline. *)
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:64 ~seed:11L in
+  let adversary sc =
+    Fba_adversary.Aer_attacks.(compose sc [ push_flood sc; wrong_answer sc ])
+  in
+  let run, acc = Runner.run_aer_phases ~adversary sc in
+  let obs = run.Runner.obs in
+  Alcotest.(check int) "phase bits sum to total_bits_all" obs.Obs.total_bits_all
+    (Fba_sim.Events.Phase_acc.total_bits acc);
+  Alcotest.(check bool) "phases observed" true (obs.Obs.phases <> []);
+  let names = List.map (fun r -> r.Fba_sim.Events.Phase_acc.phase) obs.Obs.phases in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("phase " ^ name ^ " is an AER phase") true
+        (List.mem name [ "push"; "poll"; "fw1"; "fw2" ]))
+    names;
+  Alcotest.(check bool) "push phase present" true (List.mem "push" names);
+  let row_bits =
+    List.fold_left
+      (fun a (r : Fba_sim.Events.Phase_acc.row) ->
+        a + r.Fba_sim.Events.Phase_acc.bits_correct + r.Fba_sim.Events.Phase_acc.bits_byz)
+      0 obs.Obs.phases
+  in
+  Alcotest.(check int) "rows agree with accumulator" (Fba_sim.Events.Phase_acc.total_bits acc)
+    row_bits;
+  (* An untraced run of the same scenario is unaffected by tracing. *)
+  let plain = Runner.run_aer_sync ~adversary sc in
+  Alcotest.(check int) "tracing did not change traffic" plain.Runner.obs.Obs.total_bits_all
+    obs.Obs.total_bits_all
 
 let test_composition_grid () =
   let r = Composition.run_aeba_grid ~n:64 ~seed:12L ~byzantine_fraction:0.1 in
@@ -126,11 +191,14 @@ let suites =
         Alcotest.test_case "of_metrics" `Quick test_obs_of_metrics;
         Alcotest.test_case "plurality reference" `Quick test_obs_plurality_reference;
         Alcotest.test_case "aggregate" `Quick test_obs_aggregate;
+        Alcotest.test_case "all-corrupted guards" `Quick test_obs_all_corrupted_guard;
+        Alcotest.test_case "silent-correct guards" `Quick test_obs_silent_correct_guard;
       ] );
     ( "harness.runner",
       [
         Alcotest.test_case "end to end" `Quick test_runner_end_to_end;
         Alcotest.test_case "stable seeds" `Quick test_runner_seeds_stable;
+        Alcotest.test_case "phase breakdown accounting" `Quick test_runner_phase_breakdown;
       ] );
     ( "harness.composition",
       [

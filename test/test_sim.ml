@@ -298,6 +298,189 @@ let test_traced_protocol_transparent () =
   done;
   Alcotest.(check int) "all deliveries traced" n !total
 
+(* --- Events --- *)
+
+let mk_send ~round ~src ~dst ~bits =
+  Events.Send { round; src; dst; kind = "Token"; bits; delay = 1 }
+
+let test_events_ring_wraparound () =
+  let ring = Events.Ring.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Events.Ring.capacity ring);
+  Alcotest.(check int) "empty length" 0 (Events.Ring.length ring);
+  Alcotest.(check (list int)) "empty to_list" []
+    (List.map (fun _ -> 0) (Events.Ring.to_list ring));
+  for r = 0 to 4 do
+    Events.Ring.consumer ring (Events.Round_start { round = r })
+  done;
+  Alcotest.(check int) "length capped" 3 (Events.Ring.length ring);
+  Alcotest.(check int) "total counts overwritten" 5 (Events.Ring.total ring);
+  let rounds =
+    List.map
+      (function Events.Round_start { round } -> round | _ -> -1)
+      (Events.Ring.to_list ring)
+  in
+  (* Oldest events (rounds 0 and 1) were overwritten; order preserved. *)
+  Alcotest.(check (list int)) "oldest first after wrap" [ 2; 3; 4 ] rounds;
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Events.Ring.create: capacity < 1") (fun () ->
+      ignore (Events.Ring.create ~capacity:0))
+
+let test_events_phase_dedup () =
+  let sink = Events.create () in
+  let mem = Events.Memory.create () in
+  Events.attach sink (Events.Memory.consumer mem);
+  Events.phase sink ~round:0 "push";
+  Events.phase sink ~round:3 "push";
+  (* duplicate: dropped *)
+  Events.phase sink ~round:2 "poll";
+  Alcotest.(check (list (pair string int)))
+    "first activation only"
+    [ ("push", 0); ("poll", 2) ]
+    (Events.phases_seen sink);
+  Alcotest.(check int) "one Phase event per name" 2 (Events.Memory.length mem)
+
+let test_jsonl_escaping () =
+  Alcotest.(check string) "plain" "abc" (Events.Jsonl.escape "abc");
+  Alcotest.(check string) "quote and backslash" {|a\"b\\c|} (Events.Jsonl.escape {|a"b\c|});
+  Alcotest.(check string) "newline and tab" {|\n\t|} (Events.Jsonl.escape "\n\t");
+  Alcotest.(check string) "control byte" {|\u0001|} (Events.Jsonl.escape "\x01");
+  (* gstrings are arbitrary bytes; non-ASCII must never leak through raw. *)
+  Alcotest.(check string) "high byte" {|\u00ff|} (Events.Jsonl.escape "\xff");
+  let line = Events.Jsonl.to_string (Events.Decide { round = 2; id = 7; value = "g\xffs" }) in
+  Alcotest.(check string) "decide object"
+    {|{"ev":"decide","round":2,"id":7,"value":"g\u00ffs"}|} line;
+  String.iter
+    (fun c -> Alcotest.(check bool) "ascii only" true (Char.code c < 0x80))
+    line
+
+let test_jsonl_consumer_buffers_lines () =
+  let buf = Buffer.create 64 in
+  Events.Jsonl.consumer buf (Events.Round_start { round = 0 });
+  Events.Jsonl.consumer buf (mk_send ~round:0 ~src:1 ~dst:2 ~bits:16);
+  Alcotest.(check string) "two newline-terminated objects"
+    ({|{"ev":"round_start","round":0}|} ^ "\n"
+    ^ {|{"ev":"send","round":0,"src":1,"dst":2,"kind":"Token","bits":16,"delay":1}|} ^ "\n")
+    (Buffer.contents buf)
+
+let test_phase_acc_accounting () =
+  let acc =
+    Events.Phase_acc.create
+      ~classify:(fun ~kind -> if kind = "Token" then "transit" else kind)
+      ~n:4 ()
+  in
+  let c = Events.Phase_acc.consumer acc in
+  c (mk_send ~round:0 ~src:0 ~dst:1 ~bits:10);
+  c (mk_send ~round:2 ~src:0 ~dst:2 ~bits:10);
+  c (mk_send ~round:2 ~src:1 ~dst:2 ~bits:30);
+  c (Events.Inject { round = 1; src = 3; dst = 0; kind = "Token"; bits = 7; delay = 1 });
+  c (Events.Deliver { round = 1; src = 0; dst = 1; kind = "Token"; bits = 10 });
+  c (Events.Deliver { round = 3; src = 1; dst = 2; kind = "Token"; bits = 30 });
+  (match Events.Phase_acc.rows acc with
+  | [ row ] ->
+    Alcotest.(check string) "phase name" "transit" row.Events.Phase_acc.phase;
+    Alcotest.(check int) "first round" 0 row.Events.Phase_acc.first_round;
+    Alcotest.(check int) "last round" 3 row.Events.Phase_acc.last_round;
+    Alcotest.(check int) "correct msgs" 3 row.Events.Phase_acc.msgs_correct;
+    Alcotest.(check int) "byz msgs" 1 row.Events.Phase_acc.msgs_byz;
+    Alcotest.(check int) "correct bits" 50 row.Events.Phase_acc.bits_correct;
+    Alcotest.(check int) "byz bits" 7 row.Events.Phase_acc.bits_byz;
+    (* node 0 sent 20 bits, node 1 sent 30. *)
+    Alcotest.(check int) "max sent" 30 row.Events.Phase_acc.max_sent_bits;
+    (* node 2 received 30 delivered bits, node 1 received 10. *)
+    Alcotest.(check int) "max recv" 30 row.Events.Phase_acc.max_recv_bits;
+    Alcotest.(check int) "max fanout" 2 row.Events.Phase_acc.max_fanout
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  Alcotest.(check int) "total bits" 57 (Events.Phase_acc.total_bits acc);
+  Alcotest.(check int) "total msgs" 4 (Events.Phase_acc.total_messages acc);
+  let rendered = Events.Phase_acc.render acc in
+  Alcotest.(check bool) "render has total row" true
+    (String.length rendered > 0
+    && String.length (String.concat "" (String.split_on_char '\n' rendered)) > 0)
+
+let test_engine_emits_events () =
+  let n = 4 in
+  let sink = Events.create () in
+  let mem = Events.Memory.create () in
+  Events.attach sink (Events.Memory.consumer mem);
+  let corrupted = Bitset.of_list n [ 3 ] in
+  let res =
+    Ring_sync.run ~events:sink ~config:{ Ring.n } ~n ~seed:1L
+      ~adversary:(Sync_engine.null_adversary ~corrupted)
+      ~mode:`Rushing ~max_rounds:20 ()
+  in
+  ignore res;
+  let count p = List.length (List.filter p (Events.Memory.to_list mem)) in
+  (* Nodes 0, 1, 2 each send the token once; node 3 is corrupted. *)
+  Alcotest.(check int) "sends" 3 (count (function Events.Send _ -> true | _ -> false));
+  (* The hop 2 -> 3 is dropped at the Byzantine destination. *)
+  Alcotest.(check int) "drops" 1 (count (function Events.Drop _ -> true | _ -> false));
+  Alcotest.(check int) "delivers" 2
+    (count (function Events.Deliver _ -> true | _ -> false));
+  (* Nodes 0, 1, 2 decide. *)
+  Alcotest.(check int) "decides" 3 (count (function Events.Decide _ -> true | _ -> false));
+  Alcotest.(check bool) "round starts" true
+    (count (function Events.Round_start _ -> true | _ -> false) >= 2)
+
+let test_async_engine_emits_events () =
+  let n = 3 in
+  let sink = Events.create () in
+  let mem = Events.Memory.create () in
+  Events.attach sink (Events.Memory.consumer mem);
+  let adversary =
+    {
+      (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
+      Async_engine.max_delay = 2;
+      delay = (fun ~time:_ _ -> 2);
+    }
+  in
+  let res =
+    Ring_async.run ~events:sink ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:50 ()
+  in
+  Alcotest.(check bool) "all decided" true res.Async_engine.all_decided;
+  let sends =
+    List.filter_map
+      (function Events.Send { delay; _ } -> Some delay | _ -> None)
+      (Events.Memory.to_list mem)
+  in
+  Alcotest.(check (list int)) "adversary-chosen delays recorded" [ 2; 2; 2 ] sends;
+  let delivers =
+    List.length
+      (List.filter
+         (function Events.Deliver _ -> true | _ -> false)
+         (Events.Memory.to_list mem))
+  in
+  (* Node 0 holds the token from init, so the engine stops as soon as
+     node 2 decides — the wrap-around hop 2->0 is sent (third delay
+     above) but still in flight at termination. *)
+  Alcotest.(check int) "delivers" 2 delivers
+
+let test_metrics_imbalance_guards () =
+  (* Every node corrupted: no mean load to divide by. *)
+  let all_bad = Bitset.of_list 2 [ 0; 1 ] in
+  let m = Metrics.create ~n:2 ~corrupted:all_bad in
+  Metrics.record_send m ~src:0 ~dst:1 ~bits:100;
+  Alcotest.(check (float 0.0)) "empty correct set" 0.0 (Metrics.load_imbalance m);
+  (* Correct nodes exist but never touch a message. *)
+  let quiet = Metrics.create ~n:3 ~corrupted:(Bitset.of_list 3 [ 2 ]) in
+  Alcotest.(check (float 0.0)) "no correct traffic" 0.0 (Metrics.load_imbalance quiet);
+  Alcotest.(check bool) "never NaN" false (Float.is_nan (Metrics.load_imbalance quiet))
+
+let test_trace_total_and_csv () =
+  let t = Trace.create () in
+  Trace.record t ~round:0 ~kind:"Push";
+  Trace.record t ~round:2 ~kind:"Push";
+  Trace.record t ~round:2 ~kind:"Poll";
+  Alcotest.(check int) "total" 2 (Trace.total t ~kind:"Push");
+  Alcotest.(check int) "total absent kind" 0 (Trace.total t ~kind:"Fw1");
+  let csv = Trace.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check (list string)) "csv with stable total row"
+    [ "round,Poll,Push"; "0,0,1"; "1,0,0"; "2,1,1"; "total,1,2" ]
+    lines;
+  (* The total row survives an empty trace, so parsers can rely on it. *)
+  let empty = String.trim (Trace.to_csv (Trace.create ())) in
+  Alcotest.(check string) "empty trace keeps total row" "round\ntotal" empty
+
 let suites =
   [
     ( "sim.sync",
@@ -322,11 +505,24 @@ let suites =
       [
         Alcotest.test_case "recording" `Quick test_trace_records;
         Alcotest.test_case "wrapper transparency" `Quick test_traced_protocol_transparent;
+        Alcotest.test_case "totals and csv" `Quick test_trace_total_and_csv;
+      ] );
+    ( "sim.events",
+      [
+        Alcotest.test_case "ring buffer wrap-around" `Quick test_events_ring_wraparound;
+        Alcotest.test_case "phase marker dedup" `Quick test_events_phase_dedup;
+        Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+        Alcotest.test_case "jsonl consumer" `Quick test_jsonl_consumer_buffers_lines;
+        Alcotest.test_case "phase accumulator accounting" `Quick test_phase_acc_accounting;
+        Alcotest.test_case "sync engine emission" `Quick test_engine_emits_events;
+        Alcotest.test_case "async engine emission" `Quick test_async_engine_emits_events;
       ] );
     ( "sim.metrics",
       [
         Alcotest.test_case "merge phases" `Quick test_metrics_merge;
         Alcotest.test_case "load imbalance" `Quick test_metrics_imbalance;
+        Alcotest.test_case "load imbalance degenerate cases" `Quick
+          test_metrics_imbalance_guards;
         Alcotest.test_case "envelope pp" `Quick test_envelope_pp;
       ] );
   ]
