@@ -16,9 +16,17 @@
    a dune lock), then measures every perf target plus one large-n
    end-to-end AER run — wall time and allocated words per run, via
    [Gc.allocated_bytes] — and writes BENCH_<rev>.json for diffing
-   against the previous revision's file.
+   against the previous revision's file. Perf measurements always run
+   single-domain ([--jobs] does not apply), so numbers stay comparable
+   across revisions.
 
-   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all] [--full] [--json] *)
+   Experiment sweeps shard their grid cells across domains: [--jobs N]
+   picks the worker count, [--jobs 1] forces sequential, and the
+   default (0) auto-sizes to the machine. Output is byte-identical for
+   every jobs value.
+
+   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all]
+                   [--full] [--json] [--jobs N] *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -28,15 +36,15 @@ module Runner = Fba_harness.Runner
 
 let bench_aer_sync () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:128 ~seed:1L in
-  ignore (Runner.run_aer_sync ~adversary:Attacks.silent sc)
+  ignore (Runner.aer_sync ~adversary:Attacks.silent sc)
 
 let bench_aer_cornering () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:128 ~seed:1L in
-  ignore (Runner.run_aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc)
+  ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc)
 
 let bench_aer_async () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:96 ~seed:1L in
-  ignore (Runner.run_aer_async ~adversary:(fun sc -> Attacks.async_cornering sc) sc)
+  ignore (Runner.aer_async ~adversary:(fun sc -> Attacks.async_cornering sc) sc)
 
 let bench_grid () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:1024 ~seed:1L in
@@ -172,7 +180,7 @@ let run_perf_json () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:1024 ~seed:1L in
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
-  ignore (Runner.run_aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
+  ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
   let e2e_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   let e2e_words = (Gc.allocated_bytes () -. a0) /. 8.0 in
   Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" e2e_name e2e_ns e2e_words;
@@ -193,33 +201,49 @@ let run_perf_json () =
 
 (* --- Entry point --- *)
 
-let experiments =
+module Experiment = Fba_harness.Experiment
+
+let experiments : Experiment.t list =
   [
-    ("fig1a", Fba_harness.Exp_fig1a.run);
-    ("fig1b", Fba_harness.Exp_fig1b.run);
-    ("lemmas", Fba_harness.Exp_lemmas.run);
-    ("samplers", Fba_harness.Exp_samplers.run);
-    ("ablation", Fba_harness.Exp_ablation.run);
+    (module Fba_harness.Exp_fig1a);
+    (module Fba_harness.Exp_fig1b);
+    (module Fba_harness.Exp_lemmas);
+    (module Fba_harness.Exp_samplers);
+    (module Fba_harness.Exp_ablation);
   ]
+
+(* [--jobs N] / [-j N]: worker-domain count for experiment sweeps.
+   Absent or 0 = auto-size to the machine; 1 = sequential. *)
+let rec extract_jobs acc = function
+  | [] -> (0, List.rev acc)
+  | ("--jobs" | "-j") :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some j when j >= 0 -> (j, List.rev_append acc rest)
+    | _ ->
+      Printf.eprintf "--jobs expects a non-negative integer, got %S\n" v;
+      exit 2)
+  | [ ("--jobs" | "-j") ] ->
+    prerr_endline "--jobs expects an argument";
+    exit 2
+  | a :: rest -> extract_jobs (a :: acc) rest
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = extract_jobs [] args in
   let full = List.mem "--full" args in
   let json = List.mem "--json" args in
   let which = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let which = if which = [] then [ "all" ] else which in
+  let run_exp e =
+    Experiment.run ~jobs ~full e ~out:stdout ();
+    flush stdout
+  in
   let run_one name =
-    match List.assoc_opt name experiments with
-    | Some f ->
-      f ?full:(Some full) ~out:stdout ();
-      flush stdout
+    match List.find_opt (fun e -> Experiment.name e = name) experiments with
+    | Some e -> run_exp e
     | None when name = "perf" -> if json then run_perf_json () else run_perf ()
     | None when name = "all" ->
-      List.iter
-        (fun (_, f) ->
-          f ?full:(Some full) ~out:stdout ();
-          flush stdout)
-        experiments;
+      List.iter run_exp experiments;
       run_perf ()
     | None ->
       Printf.eprintf

@@ -67,10 +67,11 @@ let run_aer n byz know seed attack mode =
         | `Cornering -> Attacks.async_cornering sc
         | _ -> Attacks.async_of_sync sc (sync_attack sc)
       in
-      let r, norm = Runner.run_aer_async ~adversary sc in
+      let r, norm = Runner.aer_async ~adversary sc in
       (r.Runner.obs, Some norm)
     | (`Rushing | `Non_rushing) as m ->
-      ((Runner.run_aer_sync ~mode:m ~adversary:sync_attack sc).Runner.obs, None)
+      let config = { Runner.default_config with Runner.mode = m } in
+      ((Runner.aer_sync ~config ~adversary:sync_attack sc).Runner.obs, None)
   in
   Format.printf "AER n=%d byzantine=%.2f knowledgeable=%.2f@." n byz know;
   Format.printf "  rounds: %d%s@." obs.Fba_harness.Obs.rounds
@@ -168,10 +169,19 @@ let run_trace n byz know seed attack mode jsonl csv =
         | `Cornering -> Attacks.async_cornering sc
         | _ -> Attacks.async_of_sync sc (sync_attack sc)
       in
-      let r, norm = Runner.run_aer_async ~events:sink ~phase_acc:acc ~adversary sc in
+      let config =
+        { Runner.default_config with Runner.events = Some sink; phase_acc = Some acc }
+      in
+      let r, norm = Runner.aer_async ~config ~adversary sc in
       (r, Some norm)
     | (`Rushing | `Non_rushing) as m ->
-      (Runner.run_aer_sync ~mode:m ~events:sink ~phase_acc:acc ~adversary:sync_attack sc, None)
+      let config =
+        { Runner.default_config with
+          Runner.mode = m;
+          events = Some sink;
+          phase_acc = Some acc }
+      in
+      (Runner.aer_sync ~config ~adversary:sync_attack sc, None)
   in
   close_jsonl ();
   let obs = run.Runner.obs in
@@ -225,31 +235,51 @@ let trace_cmd =
 
 (* --- fba experiment --- *)
 
-let experiments =
+module Experiment = Fba_harness.Experiment
+
+let experiments : Experiment.t list =
   [
-    ("fig1a", Fba_harness.Exp_fig1a.run);
-    ("fig1b", Fba_harness.Exp_fig1b.run);
-    ("lemmas", Fba_harness.Exp_lemmas.run);
-    ("samplers", Fba_harness.Exp_samplers.run);
-    ("ablation", Fba_harness.Exp_ablation.run);
+    (module Fba_harness.Exp_fig1a);
+    (module Fba_harness.Exp_fig1b);
+    (module Fba_harness.Exp_lemmas);
+    (module Fba_harness.Exp_samplers);
+    (module Fba_harness.Exp_ablation);
   ]
 
 let exp_arg =
-  let choices = ("all", None) :: List.map (fun (k, f) -> (k, Some f)) experiments in
+  let choices =
+    ("all", None) :: List.map (fun e -> (Experiment.name e, Some e)) experiments
+  in
   Arg.(
     required
     & pos 0 (some (enum choices)) None
     & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, all.")
 
-let run_experiment which full =
-  (match which with
-  | Some f -> f ?full:(Some full) ~out:stdout ()
-  | None -> List.iter (fun (_, f) -> f ?full:(Some full) ~out:stdout ()) experiments);
-  0
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (grid cells are sharded across them; output is \
+           byte-identical for every value). 0 (default) auto-sizes to the machine; 1 forces \
+           sequential execution.")
+
+let run_experiment which full jobs =
+  if jobs < 0 then begin
+    Format.eprintf "--jobs must be non-negative@.";
+    2
+  end
+  else begin
+    (match which with
+    | Some e -> Experiment.run ~jobs ~full e ~out:stdout ()
+    | None -> List.iter (fun e -> Experiment.run ~jobs ~full e ~out:stdout ()) experiments);
+    0
+  end
 
 let experiment_cmd =
   let doc = "Regenerate the paper's tables and lemma-level checks." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ exp_arg $ full_arg)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ exp_arg $ full_arg $ jobs_arg)
 
 let main_cmd =
   let doc = "Fast Byzantine Agreement (Braud-Santoni, Guerraoui, Huc; PODC 2013) — simulator" in

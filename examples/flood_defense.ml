@@ -17,16 +17,18 @@ let () =
   let sc seed = Runner.scenario_of_setup setup ~n ~seed in
   Printf.printf "Flooding a naive protocol vs AER, n=%d, 10%% Byzantine\n\n" n;
 
-  let naive_quiet, _ = Runner.run_naive ~flood:false (sc 1L) in
-  let naive_flood, worst_replies = Runner.run_naive ~flood:true (sc 1L) in
+  let naive_quiet, _ = Runner.naive (sc 1L) in
+  let naive_flood, worst_replies =
+    Runner.naive ~config:{ Runner.default_config with Runner.flood = true } (sc 1L)
+  in
   Printf.printf "naive sample-and-vote (no filters):\n";
   Printf.printf "  bits/node without attack: %7.0f\n" naive_quiet.Fba_harness.Obs.bits_per_node;
   Printf.printf "  bits/node under flooding: %7.0f  (worst node answered %d queries)\n\n"
     naive_flood.Fba_harness.Obs.bits_per_node worst_replies;
 
-  let aer_quiet = Runner.run_aer_sync ~adversary:Attacks.silent (sc 1L) in
+  let aer_quiet = Runner.aer_sync ~adversary:Attacks.silent (sc 1L) in
   let aer_flood =
-    Runner.run_aer_sync
+    Runner.aer_sync
       ~adversary:(fun sc ->
         Attacks.(compose sc [ push_flood ~fake_strings:4 sc; wrong_answer sc ]))
       (sc 1L)

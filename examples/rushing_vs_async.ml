@@ -35,15 +35,18 @@ let () =
   in
   let sc seed = Runner.scenario_of_setup setup ~n ~seed in
   let non_rushing =
-    Runner.run_aer_sync ~mode:`Non_rushing ~adversary:(fun sc -> Attacks.cornering sc) (sc 5L)
+    Runner.aer_sync
+      ~config:{ Runner.default_config with Runner.mode = `Non_rushing }
+      ~adversary:(fun sc -> Attacks.cornering sc)
+      (sc 5L)
   in
   describe "sync, non-rushing (Lemma 8):" non_rushing.Runner.obs "";
   let rushing =
-    Runner.run_aer_sync ~mode:`Rushing ~adversary:(fun sc -> Attacks.cornering sc) (sc 5L)
+    Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) (sc 5L)
   in
   describe "sync, rushing (Lemma 6):" rushing.Runner.obs "";
   let async_run, norm =
-    Runner.run_aer_async ~adversary:(fun sc -> Attacks.async_cornering sc) (sc 5L)
+    Runner.aer_async ~adversary:(fun sc -> Attacks.async_cornering sc) (sc 5L)
   in
   describe "async (Lemma 6/10):" async_run.Runner.obs
     (Printf.sprintf " (%.1f normalized)" norm);

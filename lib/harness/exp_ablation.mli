@@ -12,6 +12,21 @@
       (DESIGN.md substitution 6);
     - the re-poll extension (Section 5 "future work" flavoured):
       attempts > 1 rescues nodes whose poll list drew a Byzantine
-      majority. *)
+      majority;
+    - the non-adaptive-adversary assumption: adaptive quorum seizure
+      denies designated victims gstring permanently.
 
-val run : ?full:bool -> out:out_channel -> unit -> unit
+    Implements {!Experiment.S}. *)
+
+val name : string
+
+type cell
+type row
+
+val grid : full:bool -> cell list
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges n; [jobs] (default auto) shards
+    grid cells across domains. *)

@@ -13,7 +13,21 @@
     and AER under a synchronous non-rushing, synchronous rushing and
     asynchronous cornering adversary, over a grid of system sizes, and
     report measured rounds, bits/node, per-node maxima and load
-    imbalance, plus fitted growth classes. *)
+    imbalance, plus fitted growth classes.
 
-val run : ?full:bool -> out:out_channel -> unit -> unit
-(** [full] (default false) enlarges the size grid and seed count. *)
+    Implements {!Experiment.S}; the toplevel values below are that
+    signature, so [(module Exp_fig1a : Experiment.S)] drives it. *)
+
+val name : string
+
+type cell
+type row
+
+val grid : full:bool -> cell list
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges the size grid and seed count;
+    [jobs] (default auto, {!Sweep.resolve_jobs}) shards grid cells
+    across domains — the output is identical for every value. *)

@@ -18,10 +18,41 @@ let random_corruption ~n ~seed =
 let random_inputs ~seed i =
   Int64.logand (Hash64.finish (Hash64.add_int (Hash64.init seed) i)) 1L = 1L
 
+type proto = Ba | Aeba_grid | Common_coin | Ben_or | Bit_reduction | Phase_king
+
+let proto_name = function
+  | Ba -> "BA (this paper)"
+  | Aeba_grid -> "aeba+grid (KLST11-like)"
+  | Common_coin -> "common-coin BA (PR10-like)"
+  | Ben_or -> "Ben-Or (BO83)"
+  | Bit_reduction -> "BA + bit reduction (ext.)"
+  | Phase_king -> "phase-king (deterministic)"
+
+type cell = { proto : proto; n : int; seeds : int64 list }
+
 (* One row of measurements. [phase2] isolates the a.e.→e. phase for
    the compositions (the committee phase 1 is identical in both); for
    the single-phase protocols it equals [bits]. *)
-type row = { rounds : float; bits : float; phase2 : float; agreed : float }
+type row = {
+  r_proto : proto;
+  r_n : int;
+  rounds : float;
+  bits : float;
+  phase2 : float;
+  agreed : float;
+}
+
+let name = "fig1b"
+
+let grid ~full =
+  let seeds = Runner.seeds (seed_count full) in
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun proto -> { proto; n; seeds })
+        [ Ba; Aeba_grid; Common_coin; Ben_or; Bit_reduction ])
+    (sizes full)
+  @ List.map (fun n -> { proto = Phase_king; n; seeds }) (pk_sizes full)
 
 let mean l = Stats.mean (Array.of_list l)
 
@@ -54,12 +85,10 @@ let run_rba ~coin ~n ~seeds =
       seeds
   in
   let bits = mean (List.map (fun (_, b, _) -> b) per_seed) in
-  {
-    rounds = mean (List.map (fun (r, _, _) -> r) per_seed);
-    bits;
-    phase2 = bits;
-    agreed = mean (List.map (fun (_, _, a) -> a) per_seed);
-  }
+  ( mean (List.map (fun (r, _, _) -> r) per_seed),
+    bits,
+    bits,
+    mean (List.map (fun (_, _, a) -> a) per_seed) )
 
 let run_pk ~n ~seeds =
   let per_seed =
@@ -85,71 +114,41 @@ let run_pk ~n ~seeds =
       seeds
   in
   let bits = mean (List.map (fun (_, b, _) -> b) per_seed) in
-  {
-    rounds = mean (List.map (fun (r, _, _) -> r) per_seed);
-    bits;
-    phase2 = bits;
-    agreed = mean (List.map (fun (_, _, a) -> a) per_seed);
-  }
+  ( mean (List.map (fun (r, _, _) -> r) per_seed),
+    bits,
+    bits,
+    mean (List.map (fun (_, _, a) -> a) per_seed) )
 
-let run ?(full = false) ~out () =
-  let seeds = Runner.seeds (seed_count full) in
-  let tbl = Table.create
-      ~columns:
-        [ ("protocol", Table.Left); ("n", Table.Right); ("rounds", Table.Right);
-          ("bits/node (total)", Table.Right); ("bits/node (a.e.->e. phase)", Table.Right);
-          ("agreed", Table.Right) ]
-  in
-  (* Growth fits run on the a.e.→e. phase bits: the committee phase is
-     common to both compositions and dominates at small n. *)
-  let series : (string * int, float) Hashtbl.t = Hashtbl.create 32 in
-  let add name n (row : row) =
-    Hashtbl.add series (name, n) row.phase2;
-    Table.add_row tbl
-      [ name; Table.cell_int n; Table.cell_float row.rounds;
-        Table.cell_float ~decimals:0 row.bits; Table.cell_float ~decimals:0 row.phase2;
-        Printf.sprintf "%.3f" row.agreed ]
-  in
-  List.iter
-    (fun n ->
+let composition_stats rows =
+  ( mean (List.map (fun (r : Composition.result) -> float_of_int r.Composition.rounds) rows),
+    mean (List.map (fun (r : Composition.result) -> r.Composition.bits_per_node) rows),
+    mean (List.map (fun (r : Composition.result) -> r.Composition.phase2_bits_per_node) rows),
+    mean
+      (List.map
+         (fun (r : Composition.result) ->
+           float_of_int r.Composition.agreed /. float_of_int (max 1 r.Composition.correct))
+         rows) )
+
+let run_cell { proto; n; seeds } =
+  let rounds, bits, phase2, agreed =
+    match proto with
+    | Ba ->
       (* BA = aeba + AER (the paper). *)
-      let ba_rows =
-        List.map
-          (fun seed ->
-            let r = Fba_core.Ba.run_sync ~n ~seed ~byzantine_fraction:byz () in
-            Composition.of_ba_result r)
-          seeds
-      in
-      add "BA (this paper)" n
-        {
-          rounds = mean (List.map (fun (r : Composition.result) -> float_of_int r.Composition.rounds) ba_rows);
-          bits = mean (List.map (fun (r : Composition.result) -> r.Composition.bits_per_node) ba_rows);
-          phase2 = mean (List.map (fun (r : Composition.result) -> r.Composition.phase2_bits_per_node) ba_rows);
-          agreed =
-            mean
-              (List.map
-                 (fun (r : Composition.result) ->
-                   float_of_int r.Composition.agreed /. float_of_int (max 1 r.Composition.correct))
-                 ba_rows);
-        };
+      composition_stats
+        (List.map
+           (fun seed ->
+             let r = Fba_core.Ba.run_sync ~n ~seed ~byzantine_fraction:byz () in
+             Composition.of_ba_result r)
+           seeds)
+    | Aeba_grid ->
       (* aeba + grid (KLST11-style). *)
-      let gr_rows =
-        List.map (fun seed -> Composition.run_aeba_grid ~n ~seed ~byzantine_fraction:byz) seeds
-      in
-      add "aeba+grid (KLST11-like)" n
-        {
-          rounds = mean (List.map (fun (r : Composition.result) -> float_of_int r.Composition.rounds) gr_rows);
-          bits = mean (List.map (fun (r : Composition.result) -> r.Composition.bits_per_node) gr_rows);
-          phase2 = mean (List.map (fun (r : Composition.result) -> r.Composition.phase2_bits_per_node) gr_rows);
-          agreed =
-            mean
-              (List.map
-                 (fun (r : Composition.result) ->
-                   float_of_int r.Composition.agreed /. float_of_int (max 1 r.Composition.correct))
-                 gr_rows);
-        };
-      add "common-coin BA (PR10-like)" n (run_rba ~coin:(`Common 1234L) ~n ~seeds);
-      add "Ben-Or (BO83)" n (run_rba ~coin:`Local ~n ~seeds);
+      composition_stats
+        (List.map
+           (fun seed -> Composition.run_aeba_grid ~n ~seed ~byzantine_fraction:byz)
+           seeds)
+    | Common_coin -> run_rba ~coin:(`Common 1234L) ~n ~seeds
+    | Ben_or -> run_rba ~coin:`Local ~n ~seeds
+    | Bit_reduction ->
       (* The classical bit-output notion, via the reduction: BA's
          string seeds the common coin of a binary agreement on real
          inputs (50/50 split + vote-splitting adversary). *)
@@ -168,15 +167,33 @@ let run ?(full = false) ~out () =
           seeds
       in
       let bits = mean (List.map (fun (_, b, _) -> b) bit_rows) in
-      add "BA + bit reduction (ext.)" n
-        {
-          rounds = mean (List.map (fun (r, _, _) -> r) bit_rows);
-          bits;
-          phase2 = bits;
-          agreed = mean (List.map (fun (_, _, a) -> a) bit_rows);
-        })
-    (sizes full);
-  List.iter (fun n -> add "phase-king (deterministic)" n (run_pk ~n ~seeds)) (pk_sizes full);
+      ( mean (List.map (fun (r, _, _) -> r) bit_rows),
+        bits,
+        bits,
+        mean (List.map (fun (_, _, a) -> a) bit_rows) )
+    | Phase_king -> run_pk ~n ~seeds
+  in
+  { r_proto = proto; r_n = n; rounds; bits; phase2; agreed }
+
+let render ~full ~out rows =
+  let tbl = Table.create
+      ~columns:
+        [ ("protocol", Table.Left); ("n", Table.Right); ("rounds", Table.Right);
+          ("bits/node (total)", Table.Right); ("bits/node (a.e.->e. phase)", Table.Right);
+          ("agreed", Table.Right) ]
+  in
+  (* Growth fits run on the a.e.→e. phase bits: the committee phase is
+     common to both compositions and dominates at small n. *)
+  let series : (string * int, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      let name = proto_name r.r_proto in
+      Hashtbl.add series (name, r.r_n) r.phase2;
+      Table.add_row tbl
+        [ name; Table.cell_int r.r_n; Table.cell_float r.rounds;
+          Table.cell_float ~decimals:0 r.bits; Table.cell_float ~decimals:0 r.phase2;
+          Printf.sprintf "%.3f" r.agreed ])
+    rows;
   Printf.fprintf out "## Figure 1(b) — Byzantine Agreement protocols\n\n";
   Printf.fprintf out "### Measurements (byz=%.2f, vote-splitting adversary for the binary \
                       protocols)\n\n" byz;
@@ -209,3 +226,6 @@ let run ?(full = false) ~out () =
   Printf.fprintf out "\n### Reproduction vs paper\n\n";
   output_string out (Table.to_markdown repro);
   Printf.fprintf out "\n"
+
+let run ?(jobs = 0) ?(full = false) ~out () =
+  render ~full ~out (Sweep.cells ~jobs run_cell (grid ~full))

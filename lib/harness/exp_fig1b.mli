@@ -16,6 +16,19 @@
     deterministic phase-king protocol (the super-polylog bits wall that
     [BOPV06]'s n^{O(log n)} also sits behind; BOPV06 itself is not
     runnable beyond toy sizes — substitution 4). [KS13] is quoted but
-    not run (orthogonal contribution). *)
+    not run (orthogonal contribution).
 
-val run : ?full:bool -> out:out_channel -> unit -> unit
+    Implements {!Experiment.S}. *)
+
+val name : string
+
+type cell
+type row
+
+val grid : full:bool -> cell list
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges the size grid and seed count;
+    [jobs] (default auto) shards grid cells across domains. *)

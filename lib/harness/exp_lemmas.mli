@@ -12,6 +12,25 @@
       tail;
     - Lemma 7: no correct node decides on anything but gstring;
     - Lemmas 9/10: end-to-end — constant rounds (sync non-rushing) and
-      O~(n) total messages. *)
+      O~(n) total messages.
 
-val run : ?full:bool -> out:out_channel -> unit -> unit
+    Implements {!Experiment.S}. *)
+
+val name : string
+
+type cell
+type row
+
+val cell_size : cell -> int
+(** The system size [n] of a cell — lets tests sweep a cheap subset of
+    the grid (the jobs-invariance golden filters on it). *)
+
+val grid : full:bool -> cell list
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+(** [render] tolerates subset grids: a section whose rows are absent
+    is skipped entirely. *)
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges the size grid; [jobs] (default
+    auto) shards grid cells across domains. *)

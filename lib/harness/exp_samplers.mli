@@ -8,6 +8,19 @@
     - Lemma 2 Property 2: the boundary-expansion bound |∂L| > (2/3)d|L|
       of the random-digraph model, checked for random and for
       greedily-adversarial ("cornering") label sets L up to the
-      n/log n size the lemma covers. *)
+      n/log n size the lemma covers.
 
-val run : ?full:bool -> out:out_channel -> unit -> unit
+    Implements {!Experiment.S}. *)
+
+val name : string
+
+type cell
+type row
+
+val grid : full:bool -> cell list
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges the size grid and search budget;
+    [jobs] (default auto) shards grid cells across domains. *)

@@ -44,6 +44,27 @@ let scenario_of_setup setup ~n ~seed =
   Scenario.make ~junk:setup.junk ~params ~rng ~byzantine_fraction:setup.byzantine_fraction
     ~knowledgeable_fraction:setup.knowledgeable_fraction ()
 
+(* --- Run configuration (one record instead of repeated optionals) --- *)
+
+type config = {
+  mode : Fba_sim.Sync_engine.mode;
+  max_rounds : int;
+  max_time : int;
+  events : Fba_sim.Events.sink option;
+  phase_acc : Fba_sim.Events.Phase_acc.t option;
+  flood : bool;
+}
+
+let default_config =
+  {
+    mode = `Rushing;
+    max_rounds = 300;
+    max_time = 4000;
+    events = None;
+    phase_acc = None;
+    flood = false;
+  }
+
 type aer_run = {
   scenario : Scenario.t;
   obs : Obs.observation;
@@ -81,9 +102,8 @@ let phase_rows = function
   | None -> []
   | Some acc -> Fba_sim.Events.Phase_acc.rows acc
 
-let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adversary
-    (sc : Scenario.t) =
-  let events = wire_phase_acc events phase_acc in
+let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
+  let events = wire_phase_acc config.events config.phase_acc in
   let cfg = Aer.config_of_scenario ?events sc in
   let n = Scenario.(sc.params.Params.n) in
   (* Re-polling nodes wake up after repoll_timeout idle rounds; the
@@ -95,10 +115,10 @@ let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adve
   in
   let res =
     Aer_sync.run ~quiet_limit ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
-      ~adversary:(adversary sc) ~mode ~max_rounds ()
+      ~adversary:(adversary sc) ~mode:config.mode ~max_rounds:config.max_rounds ()
   in
   let obs =
-    Obs.of_metrics ~phases:(phase_rows phase_acc) ~metrics:res.Fba_sim.Sync_engine.metrics
+    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics:res.Fba_sim.Sync_engine.metrics
       ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
@@ -106,16 +126,16 @@ let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adve
   in
   { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing }
 
-let run_aer_async ?(max_time = 4000) ?events ?phase_acc ~adversary (sc : Scenario.t) =
-  let events = wire_phase_acc events phase_acc in
+let aer_async ?(config = default_config) ~adversary (sc : Scenario.t) =
+  let events = wire_phase_acc config.events config.phase_acc in
   let cfg = Aer.config_of_scenario ?events sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
     Aer_async.run ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
-      ~adversary:(adversary sc) ~max_time ()
+      ~adversary:(adversary sc) ~max_time:config.max_time ()
   in
   let obs =
-    Obs.of_metrics ~phases:(phase_rows phase_acc) ~metrics:res.Fba_sim.Async_engine.metrics
+    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics:res.Fba_sim.Async_engine.metrics
       ~outputs:res.Fba_sim.Async_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
@@ -124,12 +144,12 @@ let run_aer_async ?(max_time = 4000) ?events ?phase_acc ~adversary (sc : Scenari
   ( { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing },
     res.Fba_sim.Async_engine.normalized_rounds )
 
-let run_aer_phases ?mode ?max_rounds ~adversary (sc : Scenario.t) =
+let aer_phases ?(config = default_config) ~adversary (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
   let acc =
     Fba_sim.Events.Phase_acc.create ~classify:(fun ~kind -> Aer.phase_of_kind kind) ~n ()
   in
-  let run = run_aer_sync ?mode ?max_rounds ~phase_acc:acc ~adversary sc in
+  let run = aer_sync ~config:{ config with phase_acc = Some acc } ~adversary sc in
   (run, acc)
 
 let str_bits (sc : Scenario.t) = 8 * String.length sc.Scenario.gstring
@@ -147,13 +167,18 @@ let run_grid (sc : Scenario.t) =
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
     ~reference:(Some sc.Scenario.gstring) ()
 
-let run_naive ?(flood = false) (sc : Scenario.t) =
+(* The two attackable baselines share [config.flood]: [false] (the
+   default) runs the honest/silent adversary on both, [true] turns on
+   each protocol's worst flooding strategy. One knob, one default —
+   the old per-function [?flood] optionals drifted apart. *)
+
+let naive ?(config = default_config) (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
   let cfg =
     Naive.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc) ()
   in
   let adversary =
-    if flood then Naive.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
+    if config.flood then Naive.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
@@ -175,13 +200,13 @@ let run_naive ?(flood = false) (sc : Scenario.t) =
 module Ks09 = Fba_baselines.Ks09_aetoe
 module Ks09_sync = Fba_sim.Sync_engine.Make (Ks09)
 
-let run_ks09 ?(flood = false) (sc : Scenario.t) =
+let ks09 ?(config = default_config) (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
   let cfg =
     Ks09.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc) ()
   in
   let adversary =
-    if flood then Ks09.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
+    if config.flood then Ks09.flood_adversary cfg ~corrupted:sc.Scenario.corrupted
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
@@ -210,3 +235,17 @@ let run_relay (sc : Scenario.t) =
     ~reference:(Some sc.Scenario.gstring) ()
 
 let seeds k = List.init k (fun i -> Int64.of_int ((1013 * (i + 1)) + 7))
+
+(* --- Deprecated pre-[config] surface (thin wrappers, one release) --- *)
+
+let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adversary sc =
+  aer_sync ~config:{ default_config with mode; max_rounds; events; phase_acc } ~adversary sc
+
+let run_aer_async ?(max_time = 4000) ?events ?phase_acc ~adversary sc =
+  aer_async ~config:{ default_config with max_time; events; phase_acc } ~adversary sc
+
+let run_aer_phases ?(mode = `Rushing) ?(max_rounds = 300) ~adversary sc =
+  aer_phases ~config:{ default_config with mode; max_rounds } ~adversary sc
+
+let run_naive ?(flood = false) sc = naive ~config:{ default_config with flood } sc
+let run_ks09 ?(flood = false) sc = ks09 ~config:{ default_config with flood } sc

@@ -20,6 +20,32 @@ val default_setup : aer_setup
 val scenario_of_setup : aer_setup -> n:int -> seed:int64 -> Scenario.t
 (** Auto-sizes quorums via {!Params.make_for} unless [d_override]. *)
 
+(** {1 Run configuration}
+
+    One record carries every knob the run functions used to take as
+    scattered optional arguments. Build variations with record update
+    on {!default_config}:
+    [{ Runner.default_config with mode = `Non_rushing }]. *)
+
+type config = {
+  mode : Fba_sim.Sync_engine.mode;  (** sync engines; default [`Rushing] *)
+  max_rounds : int;  (** sync round cap; default 300 *)
+  max_time : int;  (** async time cap; default 4000 *)
+  events : Fba_sim.Events.sink option;
+      (** trace sink (engine traffic + protocol phase markers);
+          [None] keeps the zero-allocation untraced path *)
+  phase_acc : Fba_sim.Events.Phase_acc.t option;
+      (** per-phase accumulator, attached to [events] (a sink is
+          created if [events] is [None]); fills [obs.phases] *)
+  flood : bool;
+      (** attackable baselines ({!naive}, {!ks09}): [false] (default)
+          = silent adversary on both, [true] = the protocol's worst
+          flooding strategy. Replaces the old per-function [?flood]
+          optionals, whose defaults were easy to drift apart. *)
+}
+
+val default_config : config
+
 type aer_run = {
   scenario : Scenario.t;
   obs : Obs.observation;
@@ -29,50 +55,43 @@ type aer_run = {
   gstring_missing : int;  (** Lemma 5 gauge: correct nodes whose list lacks gstring *)
 }
 
-val run_aer_sync :
-  ?mode:Fba_sim.Sync_engine.mode ->
-  ?max_rounds:int ->
-  ?events:Fba_sim.Events.sink ->
-  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
+val aer_sync :
+  ?config:config ->
   adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
   Scenario.t ->
   aer_run
-(** [events] traces the execution (engine traffic + protocol phase
-    markers); [phase_acc] additionally attaches a per-phase accumulator
-    to the sink (creating one if [events] was not given) and fills
-    [obs.phases] with its rows. Omitting both keeps the run on the
-    zero-allocation untraced path. *)
+(** AER on the synchronous engine. Uses [config.mode], [max_rounds],
+    [events], [phase_acc]. *)
 
-val run_aer_async :
-  ?max_time:int ->
-  ?events:Fba_sim.Events.sink ->
-  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
+val aer_async :
+  ?config:config ->
   adversary:(Scenario.t -> Fba_adversary.Aer_attacks.async) ->
   Scenario.t ->
   aer_run * float
-(** Also returns the normalized round count (time / max_delay).
-    [events]/[phase_acc] as in {!run_aer_sync}. *)
+(** AER on the asynchronous engine; also returns the normalized round
+    count (time / max_delay). Uses [config.max_time], [events],
+    [phase_acc]. *)
 
-val run_aer_phases :
-  ?mode:Fba_sim.Sync_engine.mode ->
-  ?max_rounds:int ->
+val aer_phases :
+  ?config:config ->
   adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
   Scenario.t ->
   aer_run * Fba_sim.Events.Phase_acc.t
-(** {!run_aer_sync} with a fresh phase accumulator classifying message
-    kinds via {!Fba_core.Aer.phase_of_kind}; returns the accumulator
-    alongside the run (whose [obs.phases] is already filled). *)
+(** {!aer_sync} with a fresh phase accumulator classifying message
+    kinds via {!Fba_core.Aer.phase_of_kind} (overriding
+    [config.phase_acc]); returns the accumulator alongside the run
+    (whose [obs.phases] is already filled). *)
 
 val run_grid : Scenario.t -> Obs.observation
 (** Grid baseline on the same workload (silent adversary — its
     vulnerability axis is load, not safety). *)
 
-val run_naive : ?flood:bool -> Scenario.t -> Obs.observation * int
-(** Naive baseline; also returns the worst per-node replies-sent count.
-    [flood] (default false) turns on the query-flooding adversary. *)
+val naive : ?config:config -> Scenario.t -> Obs.observation * int
+(** Naive baseline; also returns the worst per-node replies-sent
+    count. [config.flood] selects the query-flooding adversary. *)
 
-val run_ks09 : ?flood:bool -> Scenario.t -> Obs.observation
-(** The [KS09]-shaped random-push baseline; [flood] aims every
+val ks09 : ?config:config -> Scenario.t -> Obs.observation
+(** The [KS09]-shaped random-push baseline; [config.flood] aims every
     Byzantine push budget at a few victims (receive-side hot spot). *)
 
 val run_relay : Scenario.t -> Obs.observation
@@ -81,4 +100,47 @@ val run_relay : Scenario.t -> Obs.observation
     point of the paper's concluding open question. *)
 
 val seeds : int -> int64 list
-(** [seeds k] is [k] fixed distinct seeds, stable across runs. *)
+(** [seeds k] is [k] fixed distinct seeds, stable across runs. Grid
+    cells derive their per-run randomness from these, which is what
+    makes cell-wise parallel sweeps ({!Sweep}) deterministic. *)
+
+(** {1 Deprecated pre-[config] wrappers}
+
+    Thin shims over the [config]-taking functions, kept for one
+    release. Migration: move the optional arguments into a [config]
+    record, e.g.
+    [run_aer_sync ~mode:`Non_rushing ~adversary sc] becomes
+    [aer_sync ~config:{ default_config with mode = `Non_rushing } ~adversary sc]. *)
+
+val run_aer_sync :
+  ?mode:Fba_sim.Sync_engine.mode ->
+  ?max_rounds:int ->
+  ?events:Fba_sim.Events.sink ->
+  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
+  Scenario.t ->
+  aer_run
+[@@ocaml.deprecated "use Runner.aer_sync ~config"]
+
+val run_aer_async :
+  ?max_time:int ->
+  ?events:Fba_sim.Events.sink ->
+  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.async) ->
+  Scenario.t ->
+  aer_run * float
+[@@ocaml.deprecated "use Runner.aer_async ~config"]
+
+val run_aer_phases :
+  ?mode:Fba_sim.Sync_engine.mode ->
+  ?max_rounds:int ->
+  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
+  Scenario.t ->
+  aer_run * Fba_sim.Events.Phase_acc.t
+[@@ocaml.deprecated "use Runner.aer_phases ~config"]
+
+val run_naive : ?flood:bool -> Scenario.t -> Obs.observation * int
+[@@ocaml.deprecated "use Runner.naive ~config (config.flood)"]
+
+val run_ks09 : ?flood:bool -> Scenario.t -> Obs.observation
+[@@ocaml.deprecated "use Runner.ks09 ~config (config.flood)"]

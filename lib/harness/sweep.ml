@@ -1,0 +1,3 @@
+let default_jobs () = Fba_stdx.Pool.recommended_jobs ()
+let resolve_jobs j = if j > 0 then j else default_jobs ()
+let cells ~jobs run_cell grid = Fba_stdx.Pool.map_list ~jobs:(resolve_jobs jobs) run_cell grid

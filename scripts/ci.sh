@@ -38,3 +38,19 @@ EOF
 else
   echo "python3 not found; skipping JSONL validation" >&2
 fi
+
+# Sweep-executor smoke test: the experiment sweeps must produce
+# byte-identical reports whether the grid runs sequentially or sharded
+# across worker domains. Uses the two cheapest experiments.
+seq_out="$(mktemp)"
+par_out="$(mktemp)"
+trap 'rm -f "$jsonl" "$seq_out" "$par_out"' EXIT
+dune exec bench/main.exe -- samplers fig1a --jobs 1 > "$seq_out"
+dune exec bench/main.exe -- samplers fig1a --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "sweep jobs smoke ok: --jobs 2 output identical to --jobs 1"
+else
+  echo "sweep smoke FAILED: --jobs 2 output differs from --jobs 1" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi

@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_stdx.suites;
+         Test_pool.suites;
          Test_sim.suites;
          Test_samplers.suites;
          Test_aeba.suites;

@@ -34,7 +34,7 @@ let fingerprint m =
   done;
   Hash64.finish (Hash64.add_int !h (Metrics.rounds m))
 
-(* Mirrors Runner.run_aer_sync's quiescence window so the goldens pin
+(* Mirrors Runner.aer_sync's quiescence window so the goldens pin
    the same executions the harness produces. *)
 let quiet_limit_of sc =
   if Params.(sc.Scenario.params.max_poll_attempts) > 1 then

@@ -85,7 +85,7 @@ let test_obs_silent_correct_guard () =
 
 let test_runner_end_to_end () =
   let sc = Runner.scenario_of_setup Runner.default_setup ~n:64 ~seed:11L in
-  let r = Runner.run_aer_sync ~adversary:Fba_adversary.Aer_attacks.silent sc in
+  let r = Runner.aer_sync ~adversary:Fba_adversary.Aer_attacks.silent sc in
   Alcotest.(check (float 0.001)) "all agreed" 1.0 r.Runner.obs.Obs.agreed_fraction;
   Alcotest.(check int) "no missing gstring" 0 r.Runner.gstring_missing;
   Alcotest.(check bool) "push bounded" true
@@ -107,7 +107,7 @@ let test_runner_phase_breakdown () =
   let adversary sc =
     Fba_adversary.Aer_attacks.(compose sc [ push_flood sc; wrong_answer sc ])
   in
-  let run, acc = Runner.run_aer_phases ~adversary sc in
+  let run, acc = Runner.aer_phases ~adversary sc in
   let obs = run.Runner.obs in
   Alcotest.(check int) "phase bits sum to total_bits_all" obs.Obs.total_bits_all
     (Fba_sim.Events.Phase_acc.total_bits acc);
@@ -128,9 +128,64 @@ let test_runner_phase_breakdown () =
   Alcotest.(check int) "rows agree with accumulator" (Fba_sim.Events.Phase_acc.total_bits acc)
     row_bits;
   (* An untraced run of the same scenario is unaffected by tracing. *)
-  let plain = Runner.run_aer_sync ~adversary sc in
+  let plain = Runner.aer_sync ~adversary sc in
   Alcotest.(check int) "tracing did not change traffic" plain.Runner.obs.Obs.total_bits_all
     obs.Obs.total_bits_all
+
+(* The deprecated wrappers must stay behaviourally identical to the
+   config-record calls they delegate to. *)
+module Deprecated = struct
+  [@@@alert "-deprecated"]
+
+  let run_aer_sync = Runner.run_aer_sync
+  let run_naive = Runner.run_naive
+end
+
+let test_config_wrappers_equivalent () =
+  let sc () = Runner.scenario_of_setup Runner.default_setup ~n:64 ~seed:11L in
+  let adversary = Fba_adversary.Aer_attacks.silent in
+  let new_run = Runner.aer_sync ~adversary (sc ()) in
+  let old_run = Deprecated.run_aer_sync ~adversary (sc ()) in
+  Alcotest.(check int) "aer wrapper: same traffic" new_run.Runner.obs.Obs.total_bits_all
+    old_run.Runner.obs.Obs.total_bits_all;
+  Alcotest.(check (float 0.0)) "aer wrapper: same agreement"
+    new_run.Runner.obs.Obs.agreed_fraction old_run.Runner.obs.Obs.agreed_fraction;
+  let new_naive, new_worst =
+    Runner.naive ~config:{ Runner.default_config with Runner.flood = true } (sc ())
+  in
+  let old_naive, old_worst = Deprecated.run_naive ~flood:true (sc ()) in
+  Alcotest.(check int) "naive wrapper: same traffic" new_naive.Obs.total_bits_all
+    old_naive.Obs.total_bits_all;
+  Alcotest.(check int) "naive wrapper: same worst replies" new_worst old_worst
+
+(* --- Sweep: jobs-invariance golden --- *)
+
+module Exp_lemmas = Fba_harness.Exp_lemmas
+module Sweep = Fba_harness.Sweep
+
+let render_lemmas rows =
+  let path = Filename.temp_file "fba_lemmas" ".md" in
+  let oc = open_out_bin path in
+  Exp_lemmas.render ~full:false ~out:oc rows;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_sweep_jobs_invariance () =
+  (* The cheap (n<=64) subset of the lemmas grid, rendered sequentially
+     and on 4 domains: the reports must be byte-identical. *)
+  let cells =
+    List.filter (fun c -> Exp_lemmas.cell_size c <= 64) (Exp_lemmas.grid ~full:false)
+  in
+  Alcotest.(check bool) "subset grid non-empty" true (cells <> []);
+  let render_at jobs = render_lemmas (Sweep.cells ~jobs Exp_lemmas.run_cell cells) in
+  let sequential = render_at 1 in
+  let sharded = render_at 4 in
+  Alcotest.(check bool) "rendered something" true (String.length sequential > 0);
+  Alcotest.(check string) "byte-identical at jobs=1 and jobs=4" sequential sharded
 
 let test_composition_grid () =
   let r = Composition.run_aeba_grid ~n:64 ~seed:12L ~byzantine_fraction:0.1 in
@@ -199,7 +254,11 @@ let suites =
         Alcotest.test_case "end to end" `Quick test_runner_end_to_end;
         Alcotest.test_case "stable seeds" `Quick test_runner_seeds_stable;
         Alcotest.test_case "phase breakdown accounting" `Quick test_runner_phase_breakdown;
+        Alcotest.test_case "deprecated wrappers equivalent" `Quick
+          test_config_wrappers_equivalent;
       ] );
+    ( "harness.sweep",
+      [ Alcotest.test_case "jobs invariance (lemmas subset)" `Quick test_sweep_jobs_invariance ] );
     ( "harness.composition",
       [
         Alcotest.test_case "aeba + grid" `Quick test_composition_grid;
