@@ -25,8 +25,11 @@
    default (0) auto-sizes to the machine. Output is byte-identical for
    every jobs value.
 
-   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|perf|all]
-                   [--full] [--json] [--jobs N] *)
+   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|robustness|perf|all]
+                   [--full] [--json] [--jobs N]
+          main.exe perf-target NAME   (scripting: print one target's
+                   allocated words per run — scripts/ci.sh diffs this
+                   against the recorded BENCH_<rev>.json baseline) *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -210,6 +213,7 @@ let experiments : Experiment.t list =
     (module Fba_harness.Exp_lemmas);
     (module Fba_harness.Exp_samplers);
     (module Fba_harness.Exp_ablation);
+    (module Fba_harness.Exp_robustness);
   ]
 
 (* [--jobs N] / [-j N]: worker-domain count for experiment sweeps.
@@ -234,6 +238,21 @@ let () =
   let json = List.mem "--json" args in
   let which = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let which = if which = [] then [ "all" ] else which in
+  (match which with
+  | [ "perf-target"; name ] -> (
+    (* Bare output by design: one number, for scripts/ci.sh. *)
+    match List.assoc_opt name perf_tests with
+    | Some f ->
+      let _, words, _ = measure_target f in
+      Printf.printf "%.0f\n" words;
+      exit 0
+    | None ->
+      Printf.eprintf "unknown perf target %S\n" name;
+      exit 2)
+  | "perf-target" :: _ ->
+    prerr_endline "perf-target expects exactly one target name";
+    exit 2
+  | _ -> ());
   let run_exp e =
     Experiment.run ~jobs ~full e ~out:stdout ();
     flush stdout
@@ -247,7 +266,8 @@ let () =
       run_perf ()
     | None ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig1a|fig1b|lemmas|samplers|ablation|perf|all)\n" name;
+        "unknown benchmark %S (expected fig1a|fig1b|lemmas|samplers|ablation|robustness|perf|all)\n"
+        name;
       exit 2
   in
   Printf.printf "# Fast Byzantine Agreement (PODC 2013) - table regeneration%s\n\n"

@@ -126,19 +126,55 @@ let jsonl_arg =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print the per-round kind table as CSV, not markdown.")
 
-let run_trace n byz know seed attack mode jsonl csv =
+let drop_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "drop-rate" ] ~docv:"RATE"
+        ~doc:
+          "Off-model network condition: lose each delivery i.i.d. with probability $(docv) \
+           (0 = the paper's reliable network).")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "partition" ] ~docv:"ROUNDS"
+        ~doc:
+          "Off-model network condition: bisect the network from round 1 for $(docv) rounds \
+           (0 = no partition).")
+
+let run_trace n byz know seed attack mode jsonl csv drop_rate partition =
   let setup =
     { Runner.default_setup with
       Runner.byzantine_fraction = byz;
       knowledgeable_fraction = know }
   in
   let sc = Runner.scenario_of_setup setup ~n ~seed:(Int64.of_int seed) in
+  let net =
+    Fba_sim.Net.(
+      match (drop_rate > 0.0, partition > 0) with
+      | false, false -> Reliable
+      | true, false -> Drop { rate = drop_rate }
+      | false, true -> Partition { from_round = 1; rounds = partition }
+      | true, true ->
+        Compose
+          [ Drop { rate = drop_rate }; Partition { from_round = 1; rounds = partition } ])
+  in
   let sink = Events.create () in
   (* Per-round deliveries by kind, fed from the event stream (the old
      [Trace.Traced] wrapper is no longer needed here). *)
   let trace = Fba_sim.Trace.create () in
   Events.attach sink (function
     | Events.Deliver { round; kind; _ } -> Fba_sim.Trace.record trace ~round ~kind
+    | _ -> ());
+  (* Discarded deliveries, adversary- and net-attributed alike, keyed by
+     the Drop reason tag. *)
+  let drops : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Events.attach sink (function
+    | Events.Drop { reason; _ } ->
+      Hashtbl.replace drops reason
+        (1 + Option.value ~default:0 (Hashtbl.find_opt drops reason))
     | _ -> ());
   let close_jsonl =
     match jsonl with
@@ -170,7 +206,7 @@ let run_trace n byz know seed attack mode jsonl csv =
         | _ -> Attacks.async_of_sync sc (sync_attack sc)
       in
       let config =
-        { Runner.default_config with Runner.events = Some sink; phase_acc = Some acc }
+        { Runner.default_config with Runner.events = Some sink; phase_acc = Some acc; net }
       in
       let r, norm = Runner.aer_async ~config ~adversary sc in
       (r, Some norm)
@@ -179,7 +215,8 @@ let run_trace n byz know seed attack mode jsonl csv =
         { Runner.default_config with
           Runner.mode = m;
           events = Some sink;
-          phase_acc = Some acc }
+          phase_acc = Some acc;
+          net }
       in
       (Runner.aer_sync ~config ~adversary:sync_attack sc, None)
   in
@@ -202,6 +239,11 @@ let run_trace n byz know seed attack mode jsonl csv =
     Format.printf "@.Deliveries per %s, by message kind:@.@." clock;
     print_string
       (if csv then Fba_sim.Trace.to_csv trace else Fba_sim.Trace.render trace);
+    Format.printf "@.Drops by reason (adversary- and net-attributed):@.";
+    (match List.sort compare (Hashtbl.fold (fun r c acc -> (r, c) :: acc) drops []) with
+    | [] -> Format.printf "  (none)@."
+    | reasons ->
+      List.iter (fun (reason, count) -> Format.printf "  %-16s %d@." reason count) reasons);
     Format.printf "@.decided: %.3f of correct nodes  agreed: %.3f  %ss: %d%s@."
       obs.Fba_harness.Obs.decided_fraction obs.Fba_harness.Obs.agreed_fraction clock
       obs.Fba_harness.Obs.rounds
@@ -225,13 +267,15 @@ let run_trace n byz know seed attack mode jsonl csv =
 
 let trace_cmd =
   let doc =
-    "Trace one AER execution: phase timeline, per-round message kinds, optional JSONL export."
+    "Trace one AER execution: phase timeline, per-round message kinds, drops by reason, \
+     optional JSONL export. $(b,--drop-rate)/$(b,--partition) inject off-model network \
+     conditions."
   in
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
       const run_trace $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg
-      $ jsonl_arg $ csv_arg)
+      $ jsonl_arg $ csv_arg $ drop_rate_arg $ partition_arg)
 
 (* --- fba experiment --- *)
 
@@ -244,6 +288,7 @@ let experiments : Experiment.t list =
     (module Fba_harness.Exp_lemmas);
     (module Fba_harness.Exp_samplers);
     (module Fba_harness.Exp_ablation);
+    (module Fba_harness.Exp_robustness);
   ]
 
 let exp_arg =
@@ -253,7 +298,8 @@ let exp_arg =
   Arg.(
     required
     & pos 0 (some (enum choices)) None
-    & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, all.")
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, robustness, all.")
 
 let jobs_arg =
   Arg.(

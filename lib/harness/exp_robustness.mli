@@ -1,0 +1,38 @@
+(** Experiment [robustness] — off-model network conditions.
+
+    The paper's model (Section 2.1) assumes a fully-connected,
+    authenticated, {e reliable} network; this experiment deliberately
+    steps outside it. Using the pluggable {!Fba_sim.Net} layer it
+    sweeps
+
+    - i.i.d. per-delivery loss (drop rate 0–0.20), and
+    - transient bisections (the two halves cut off from round 1, for a
+      sweep of lengths),
+
+    for AER vs the naive-flooding and grid baselines, with a silent
+    Byzantine coalition so the network axis is isolated from the
+    adversary axis. Reported per condition: the mean fraction of
+    correct nodes deciding gstring ("decide probability"), the
+    fraction of runs where all of them did, mean rounds-to-decide, and
+    mean bits/node — the degradation curves that quantify how far the
+    O~(1)-bits guarantee survives off-model.
+
+    Implements {!Experiment.S}. *)
+
+val name : string
+
+type cell
+type row
+
+val grid : full:bool -> cell list
+(** Setting the [FBA_ROBUSTNESS_SMOKE] environment variable shrinks the
+    grid to one drop rate and one partition length at n=48 (used by
+    [scripts/ci.sh] to diff [--jobs] runs cheaply). *)
+
+val run_cell : cell -> row
+val render : full:bool -> out:out_channel -> row list -> unit
+
+val run : ?jobs:int -> ?full:bool -> out:out_channel -> unit -> unit
+(** [full] (default false) enlarges n, the seed count and the
+    partition-length sweep; [jobs] (default auto) shards grid cells
+    across domains — the output is byte-identical for every value. *)

@@ -53,6 +53,7 @@ type config = {
   events : Fba_sim.Events.sink option;
   phase_acc : Fba_sim.Events.Phase_acc.t option;
   flood : bool;
+  net : Fba_sim.Net.spec;
 }
 
 let default_config =
@@ -63,6 +64,7 @@ let default_config =
     events = None;
     phase_acc = None;
     flood = false;
+    net = Fba_sim.Net.Reliable;
   }
 
 type aer_run = {
@@ -114,8 +116,9 @@ let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
     else 3
   in
   let res =
-    Aer_sync.run ~quiet_limit ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
-      ~adversary:(adversary sc) ~mode:config.mode ~max_rounds:config.max_rounds ()
+    Aer_sync.run ~quiet_limit ?events ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed ~adversary:(adversary sc) ~mode:config.mode
+      ~max_rounds:config.max_rounds ()
   in
   let obs =
     Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics:res.Fba_sim.Sync_engine.metrics
@@ -131,7 +134,7 @@ let aer_async ?(config = default_config) ~adversary (sc : Scenario.t) =
   let cfg = Aer.config_of_scenario ?events sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
-    Aer_async.run ?events ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Aer_async.run ?events ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
       ~adversary:(adversary sc) ~max_time:config.max_time ()
   in
   let obs =
@@ -154,13 +157,13 @@ let aer_phases ?(config = default_config) ~adversary (sc : Scenario.t) =
 
 let str_bits (sc : Scenario.t) = 8 * String.length sc.Scenario.gstring
 
-let run_grid (sc : Scenario.t) =
+let run_grid ?(config = default_config) (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
   let cfg =
     Grid.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc)
   in
   let res =
-    Grid_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Grid_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Grid.total_rounds + 2) ()
   in
@@ -182,8 +185,8 @@ let naive ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Naive_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed ~adversary
-      ~mode:`Rushing ~max_rounds:(Naive.total_rounds + 2) ()
+    Naive_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary ~mode:`Rushing ~max_rounds:(Naive.total_rounds + 2) ()
   in
   let worst_replies = ref 0 in
   Array.iteri
@@ -210,8 +213,8 @@ let ks09 ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Ks09_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed ~adversary
-      ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
+    Ks09_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+      ~adversary ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
   in
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
     ~reference:(Some sc.Scenario.gstring) ()
@@ -219,7 +222,7 @@ let ks09 ?(config = default_config) (sc : Scenario.t) =
 module Relay = Fba_extensions.Committee_relay
 module Relay_sync = Fba_sim.Sync_engine.Make (Relay)
 
-let run_relay (sc : Scenario.t) =
+let run_relay ?(config = default_config) (sc : Scenario.t) =
   let n = Scenario.(sc.params.Params.n) in
   let cfg =
     Relay.make_config ~n ~seed:sc.Scenario.params.Params.seed
@@ -227,7 +230,7 @@ let run_relay (sc : Scenario.t) =
       ~str_bits:(str_bits sc) ()
   in
   let res =
-    Relay_sync.run ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Relay_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Relay.total_rounds + 2) ()
   in

@@ -42,6 +42,12 @@ type config = {
           = silent adversary on both, [true] = the protocol's worst
           flooding strategy. Replaces the old per-function [?flood]
           optionals, whose defaults were easy to drift apart. *)
+  net : Fba_sim.Net.spec;
+      (** network-condition layer threaded into every engine run.
+          [Reliable] (default) is the paper's model and is
+          byte-identical to the pre-layer engines; anything else is an
+          off-model robustness condition (see {!Fba_sim.Net} and
+          {!Exp_robustness}). *)
 }
 
 val default_config : config
@@ -82,9 +88,9 @@ val aer_phases :
     [config.phase_acc]); returns the accumulator alongside the run
     (whose [obs.phases] is already filled). *)
 
-val run_grid : Scenario.t -> Obs.observation
+val run_grid : ?config:config -> Scenario.t -> Obs.observation
 (** Grid baseline on the same workload (silent adversary — its
-    vulnerability axis is load, not safety). *)
+    vulnerability axis is load, not safety). Uses [config.net]. *)
 
 val naive : ?config:config -> Scenario.t -> Obs.observation * int
 (** Naive baseline; also returns the worst per-node replies-sent
@@ -94,10 +100,10 @@ val ks09 : ?config:config -> Scenario.t -> Obs.observation
 (** The [KS09]-shaped random-push baseline; [config.flood] aims every
     Byzantine push budget at a few victims (receive-side hot spot). *)
 
-val run_relay : Scenario.t -> Obs.observation
+val run_relay : ?config:config -> Scenario.t -> Obs.observation
 (** The committee-relay extension ({!Fba_extensions.Committee_relay})
     on the same workload — the load-balance/communication trade-off
-    point of the paper's concluding open question. *)
+    point of the paper's concluding open question. Uses [config.net]. *)
 
 val seeds : int -> int64 list
 (** [seeds k] is [k] fixed distinct seeds, stable across runs. Grid

@@ -1,37 +1,36 @@
 (** Asynchronous engine: the adversary schedules deliveries.
 
-    The network is reliable but asynchronous (Section 2.1): every
-    message sent to a correct node is eventually delivered, with the
-    adversary choosing the order. We use the standard normalization:
-    the adversary assigns each message an integer delay in
-    [\[1, max_delay\]]; dividing the completion time by [max_delay]
-    gives the asynchronous round count that Lemma 6 and Lemma 10 refer
-    to. The adversary has full information (it observes every send at
-    the moment it happens — strictly stronger than rushing) and may
-    inject messages from corrupted identities at any time step. *)
+    The network is asynchronous but — by default — reliable
+    (Section 2.1): every message sent to a correct node is eventually
+    delivered, with the adversary choosing the order. We use the
+    standard normalization: the adversary assigns each message an
+    integer delay in [\[1, max_delay\]]; dividing the completion time by
+    [max_delay] gives the asynchronous round count that Lemma 6 and
+    Lemma 10 refer to. The adversary has full information (it observes
+    every send at the moment it happens — strictly stronger than
+    rushing) and may inject messages from corrupted identities at any
+    time step.
+
+    The [?net] network-condition layer ({!Net}) defaults to [Reliable]
+    (the paper's model, bit-identical to the goldens); off-model runs
+    may lose deliveries (i.i.d. loss, crash-stop receivers, transient
+    partitions) or stretch them ([Jitter] adds an extra per-send delay
+    on top of the adversary's choice — the calendar ring is widened by
+    the jitter bound so scheduling invariants hold). Shared bookkeeping
+    (calendar queue, adversary validation, metrics, decisions, tracing)
+    lives in {!Engine_core}. *)
 
 open Fba_stdx
 
-type 'msg adversary = {
+type 'msg adversary = 'msg Engine_core.async_adversary = {
   corrupted : Bitset.t;
-  max_delay : int;  (** upper bound the engine enforces on [delay] *)
+  max_delay : int;
   delay : time:int -> 'msg Envelope.t -> int;
-      (** delivery delay for a correct node's message, clamped to
-          [\[1, max_delay\]] *)
   observe : time:int -> 'msg Envelope.t list -> unit;
-      (** full-information hook: all messages sent at [time] *)
   inject : time:int -> ('msg Envelope.t * int) list;
-      (** messages from corrupted identities, each with its own delay *)
 }
 
-let null_adversary ~corrupted =
-  {
-    corrupted;
-    max_delay = 1;
-    delay = (fun ~time:_ _ -> 1);
-    observe = (fun ~time:_ _ -> ());
-    inject = (fun ~time:_ -> []);
-  }
+let null_adversary = Engine_core.null_async_adversary
 
 type 'state result = {
   metrics : Metrics.t;
@@ -43,52 +42,31 @@ type 'state result = {
 }
 
 module Make (P : Protocol.S) = struct
+  module Core = Engine_core.Make (P)
+
   type nonrec adversary = P.msg adversary
 
   type nonrec result = P.state result
 
-  let run ?(quiet_limit = 6) ?events ~(config : P.config) ~n ~seed ~(adversary : adversary)
-      ~max_time () =
+  let run ?(quiet_limit = 6) ?events ?(net = Net.Reliable) ~(config : P.config) ~n ~seed
+      ~(adversary : adversary) ~max_time () =
     if adversary.max_delay < 1 then invalid_arg "Async_engine: max_delay < 1";
     if quiet_limit < 1 then invalid_arg "Async_engine: quiet_limit < 1";
     let corrupted = adversary.corrupted in
-    let metrics = Metrics.create ~n ~corrupted in
-    let states : P.state option array = Array.make n None in
-    let outputs : string option array = Array.make n None in
-    let undecided = ref 0 in
-    (* Calendar queue: every delay is clamped to [1, max_delay], so a
-       message scheduled at time t lands strictly within the next
-       [max_delay] steps and a ring of [max_delay + 1] reusable Vec
-       buckets indexed by [at mod width] can never alias two distinct
-       due times that are both live. Scheduling is a push into a flat
-       buffer — no hashing, no list refs. *)
-    let width = adversary.max_delay + 1 in
-    let buckets : P.msg Envelope.t Vec.t array = Array.init width (fun _ -> Vec.create ()) in
-    let pending = ref 0 in
-    let schedule ~at e =
-      Vec.push buckets.(at mod width) e;
-      incr pending
+    let core = Core.create ?events ~net ~config ~n ~seed ~corrupted () in
+    (* The calendar ring must fit the adversary's delay bound plus the
+       worst-case network jitter, so jittered deliveries still land
+       strictly within the ring. *)
+    let cal : P.msg Engine_core.Calendar.t =
+      Engine_core.Calendar.create ~max_delay:(adversary.max_delay + Net.max_extra_delay net)
     in
     let clamp_delay d = Intx.clamp ~lo:1 ~hi:adversary.max_delay d in
-    (* Tracing sites are guarded on [events]: a disabled run performs no
-       extra work and no extra allocation. *)
-    let trace_msg ~time ~byzantine ~delay (e : P.msg Envelope.t) =
-      match events with
-      | None -> ()
-      | Some k ->
-        let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
-        let bits = P.msg_bits config e.Envelope.msg in
-        if byzantine then
-          Events.emit k
-            (Events.Inject { round = time; src = e.src; dst = e.dst; kind; bits; delay })
-        else
-          Events.emit k
-            (Events.Send { round = time; src = e.src; dst = e.dst; kind; bits; delay })
-    in
     (* Activity counters for quiescence detection. *)
     let sends_this_step = ref 0 in
     let delivered_this_step = ref 0 in
-    (* Send messages produced by a correct node at [time]. *)
+    (* Send messages produced by a correct node at [time]. The network
+       jitter (0 under [Reliable]) stretches the delivery on top of the
+       adversary's choice. *)
     let dispatch_correct ~time src out =
       sends_this_step := !sends_this_step + List.length out;
       let envs =
@@ -101,133 +79,78 @@ module Make (P : Protocol.S) = struct
       if envs <> [] then adversary.observe ~time envs;
       List.iter
         (fun (e : P.msg Envelope.t) ->
-          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
-          let d = clamp_delay (adversary.delay ~time e) in
-          trace_msg ~time ~byzantine:false ~delay:d e;
-          schedule ~at:(time + d) e)
+          Core.record_send core e;
+          let d =
+            clamp_delay (adversary.delay ~time e)
+            + Net.extra_delay core.net ~time ~src:e.src ~dst:e.dst
+          in
+          Core.trace_msg core ~round:time ~byzantine:false ~delay:d e;
+          Engine_core.Calendar.schedule cal ~at:(time + d) e)
         envs
     in
     let dispatch_byzantine ~time pairs =
       List.iter
         (fun ((e : P.msg Envelope.t), d) ->
-          if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
-            invalid_arg "Async_engine: adversary envelope out of range";
-          if not (Bitset.mem corrupted e.src) then
-            invalid_arg "Async_engine: adversary may only send from corrupted identities";
-          Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg);
-          let d = clamp_delay d in
-          trace_msg ~time ~byzantine:true ~delay:d e;
-          schedule ~at:(time + d) e)
+          Engine_core.validate_adversary_envelope ~who:"Async_engine" ~n ~corrupted e;
+          Core.record_send core e;
+          let d =
+            clamp_delay d + Net.extra_delay core.net ~time ~src:e.src ~dst:e.dst
+          in
+          Core.trace_msg core ~round:time ~byzantine:true ~delay:d e;
+          Engine_core.Calendar.schedule cal ~at:(time + d) e)
         pairs
     in
-    let check_decision ~time id =
-      if outputs.(id) = None then begin
-        match states.(id) with
-        | None -> ()
-        | Some st ->
-          (match P.output st with
-          | Some v ->
-            outputs.(id) <- Some v;
-            Metrics.record_decision metrics ~id ~round:time;
-            decr undecided;
-            (match events with
-            | None -> ()
-            | Some k -> Events.emit k (Events.Decide { round = time; id; value = v }))
-          | None -> ())
-      end
-    in
-    (* Time 0: initialization. *)
-    (match events with
-    | None -> ()
-    | Some k -> Events.emit k (Events.Round_start { round = 0 }));
-    for id = 0 to n - 1 do
-      if not (Bitset.mem corrupted id) then begin
-        let ctx = Ctx.make ~n ~id ~seed in
-        let state, out = P.init config ctx in
-        states.(id) <- Some state;
-        incr undecided;
-        dispatch_correct ~time:0 id out
-      end
-    done;
-    dispatch_byzantine ~time:0 (adversary.inject ~time:0);
-    for id = 0 to n - 1 do
-      check_decision ~time:0 id
-    done;
     let time = ref 0 in
+    (* Hoisted so the delivery loop allocates no per-message closures. *)
+    let respond dst out = dispatch_correct ~time:!time dst out in
+    (* Time 0: initialization. *)
+    Core.trace_round_start core ~round:0;
+    Core.init_nodes core ~seed ~dispatch:(fun id out -> dispatch_correct ~time:0 id out);
+    dispatch_byzantine ~time:0 (adversary.inject ~time:0);
+    Core.check_decisions core ~round:0;
     (* Round-driven protocols (committee trees, phase king, re-polling)
        can have steps with nothing in flight while a timer is pending,
        so we only stop after [quiet_limit] consecutive steps with no
        deliveries and no sends. *)
     let quiet = ref 0 in
-    let continue = ref (!undecided > 0 && !pending > 0) in
+    let continue = ref (core.undecided > 0 && cal.pending > 0) in
     while !continue && !time < max_time do
       incr time;
       let t = !time in
-      (match events with
-      | None -> ()
-      | Some k -> Events.emit k (Events.Round_start { round = t }));
+      Core.trace_round_start core ~round:t;
       sends_this_step := 0;
       delivered_this_step := 0;
       (* Clock hook for correct nodes. *)
       for id = 0 to n - 1 do
-        match states.(id) with
+        match core.states.(id) with
         | None -> ()
         | Some st -> dispatch_correct ~time:t id (P.on_round config st ~round:t)
       done;
       (* Deliver everything scheduled for t, in schedule order. Sends
          triggered by these deliveries carry delay >= 1 < width, so they
          land in other buckets, never the one being drained. *)
-      let bucket = buckets.(t mod width) in
+      let bucket = Engine_core.Calendar.due cal ~time:t in
       let due = Vec.length bucket in
       if due > 0 then begin
-        pending := !pending - due;
+        Engine_core.Calendar.consumed cal due;
         delivered_this_step := !delivered_this_step + due;
         for i = 0 to due - 1 do
           let e : P.msg Envelope.t = Vec.get bucket i in
-          match states.(e.Envelope.dst) with
-          | None ->
-            (match events with
-            | None -> ()
-            | Some k ->
-              Events.emit k
-                (Events.Drop
-                   {
-                     round = t;
-                     src = e.src;
-                     dst = e.dst;
-                     kind = Events.kind_of_pp P.pp_msg e.msg;
-                     reason = "byzantine-dst";
-                   }))
-          | Some st ->
-            (match events with
-            | None -> ()
-            | Some k ->
-              Events.emit k
-                (Events.Deliver
-                   {
-                     round = t;
-                     src = e.src;
-                     dst = e.dst;
-                     kind = Events.kind_of_pp P.pp_msg e.msg;
-                     bits = P.msg_bits config e.msg;
-                   }));
-            dispatch_correct ~time:t e.dst (P.on_receive config st ~round:t ~src:e.src e.msg)
+          Core.deliver core ~round:t e ~respond
         done;
         Vec.clear bucket
       end;
       dispatch_byzantine ~time:t (adversary.inject ~time:t);
-      for id = 0 to n - 1 do
-        check_decision ~time:t id
-      done;
+      Core.check_decisions core ~round:t;
       if !sends_this_step = 0 && !delivered_this_step = 0 then incr quiet else quiet := 0;
-      continue := !undecided > 0 && (!pending > 0 || !quiet < quiet_limit)
+      continue := core.undecided > 0 && (cal.pending > 0 || !quiet < quiet_limit)
     done;
-    Metrics.set_rounds metrics !time;
+    Metrics.set_rounds core.metrics !time;
     {
-      metrics;
-      outputs;
-      states;
-      all_decided = !undecided = 0;
+      metrics = core.metrics;
+      outputs = core.outputs;
+      states = core.states;
+      all_decided = core.undecided = 0;
       time_used = !time;
       normalized_rounds = float_of_int !time /. float_of_int adversary.max_delay;
     }

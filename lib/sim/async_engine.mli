@@ -1,0 +1,57 @@
+(** Asynchronous engine: the adversary schedules deliveries within a
+    [max_delay] bound; dividing completion time by [max_delay] gives
+    the normalized asynchronous round count of Lemmas 6 and 10. The
+    pluggable {!Net} layer (default [Reliable]) may additionally lose
+    deliveries or stretch them ([Jitter]). *)
+
+open Fba_stdx
+
+type 'msg adversary = 'msg Engine_core.async_adversary = {
+  corrupted : Bitset.t;
+  max_delay : int;  (** upper bound the engine enforces on [delay] *)
+  delay : time:int -> 'msg Envelope.t -> int;
+      (** delivery delay for a correct node's message, clamped to
+          [\[1, max_delay\]] *)
+  observe : time:int -> 'msg Envelope.t list -> unit;
+      (** full-information hook: all messages sent at [time] *)
+  inject : time:int -> ('msg Envelope.t * int) list;
+      (** messages from corrupted identities, each with its own delay *)
+}
+
+val null_adversary : corrupted:Bitset.t -> 'msg adversary
+(** Alias of {!Engine_core.null_async_adversary}: instant delivery
+    ([max_delay = 1]), no observation, no injections. *)
+
+type 'state result = {
+  metrics : Metrics.t;
+  outputs : string option array;
+  states : 'state option array;
+  all_decided : bool;
+  time_used : int;
+  normalized_rounds : float;  (** time divided by [max_delay] *)
+}
+
+module Make (P : Protocol.S) : sig
+  type nonrec adversary = P.msg adversary
+
+  type nonrec result = P.state result
+
+  val run :
+    ?quiet_limit:int ->
+    ?events:Events.sink ->
+    ?net:Net.spec ->
+    config:P.config ->
+    n:int ->
+    seed:int64 ->
+    adversary:adversary ->
+    max_time:int ->
+    unit ->
+    result
+  (** [quiet_limit] (default 6) counts consecutive steps with no sends
+      and no deliveries. [net] defaults to [Net.Reliable]; losses are
+      attributed through {!Events.Drop} with the {!Net} reason tags,
+      and [Net.Jitter] adds an extra per-send delay on top of the
+      adversary's choice (the calendar ring is widened by the jitter
+      bound, and [normalized_rounds] keeps dividing by the adversary's
+      [max_delay], so jitter shows up as stretched normalized time). *)
+end

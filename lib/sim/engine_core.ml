@@ -1,0 +1,209 @@
+open Fba_stdx
+
+(* --- Adversary records (shared between the two engines) --- *)
+
+type 'msg sync_adversary = {
+  corrupted : Bitset.t;
+  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+}
+
+type 'msg async_adversary = {
+  corrupted : Bitset.t;
+  max_delay : int;
+  delay : time:int -> 'msg Envelope.t -> int;
+  observe : time:int -> 'msg Envelope.t list -> unit;
+  inject : time:int -> ('msg Envelope.t * int) list;
+}
+
+let null_sync_adversary ~corrupted = { corrupted; act = (fun ~round:_ ~observed:_ -> []) }
+
+let null_async_adversary ~corrupted =
+  {
+    corrupted;
+    max_delay = 1;
+    delay = (fun ~time:_ _ -> 1);
+    observe = (fun ~time:_ _ -> ());
+    inject = (fun ~time:_ -> []);
+  }
+
+let validate_adversary_envelope ~who ~n ~(corrupted : Bitset.t) (e : _ Envelope.t) =
+  if e.Envelope.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+    invalid_arg (who ^ ": adversary envelope out of range");
+  if not (Bitset.mem corrupted e.src) then
+    invalid_arg (who ^ ": adversary may only send from corrupted identities")
+
+(* --- Sync mailboxes: flat growable buffers reused across rounds, so
+   the steady-state engine allocates only the envelopes themselves.
+   [correct_out] collects the current round's correct sends,
+   [in_flight] holds what the commit step staged for next round, and
+   [deliveries] is the double buffer [in_flight] is swapped into at
+   delivery time. --- *)
+
+module Mailbox = struct
+  type 'msg t = {
+    correct_out : 'msg Envelope.t Vec.t;
+    in_flight : 'msg Envelope.t Vec.t;
+    deliveries : 'msg Envelope.t Vec.t;
+  }
+
+  let create () = { correct_out = Vec.create (); in_flight = Vec.create (); deliveries = Vec.create () }
+
+  (* Swap the staged mailbox into the delivery buffer so sends can
+     refill [correct_out]/[in_flight] while the caller iterates. *)
+  let stage_deliveries t =
+    Vec.swap t.deliveries t.in_flight;
+    Vec.clear t.in_flight
+end
+
+(* --- Async calendar queue: every delay is clamped to [1, width - 1],
+   so a message scheduled at time t lands strictly within the next
+   [width - 1] steps and a ring of [width] reusable Vec buckets indexed
+   by [at mod width] can never alias two distinct due times that are
+   both live. Scheduling is a push into a flat buffer — no hashing, no
+   list refs. --- *)
+
+module Calendar = struct
+  type 'msg t = {
+    width : int;
+    buckets : 'msg Envelope.t Vec.t array;
+    mutable pending : int;
+  }
+
+  let create ~max_delay =
+    { width = max_delay + 1; buckets = Array.init (max_delay + 1) (fun _ -> Vec.create ());
+      pending = 0 }
+
+  let schedule t ~at e =
+    Vec.push t.buckets.(at mod t.width) e;
+    t.pending <- t.pending + 1
+
+  let due t ~time = t.buckets.(time mod t.width)
+
+  let consumed t k = t.pending <- t.pending - k
+end
+
+(* --- Shared run state: everything both engine loops book-keep
+   identically — node states and outputs, metrics, decision tracking,
+   the optional event sink, and the instantiated network-condition
+   layer. --- *)
+
+module Make (P : Protocol.S) = struct
+  type t = {
+    n : int;
+    config : P.config;
+    corrupted : Bitset.t;
+    metrics : Metrics.t;
+    states : P.state option array;
+    outputs : string option array;
+    mutable undecided : int;
+    events : Events.sink option;
+    net : Net.t;
+  }
+
+  let create ?events ~net ~config ~n ~seed ~corrupted () =
+    {
+      n;
+      config;
+      corrupted;
+      metrics = Metrics.create ~n ~corrupted;
+      states = Array.make n None;
+      outputs = Array.make n None;
+      undecided = 0;
+      events;
+      net = Net.instantiate net ~n ~seed;
+    }
+
+  (* Round 0 / time 0: create correct nodes and hand their initial
+     sends to the engine's dispatch. *)
+  let init_nodes t ~seed ~dispatch =
+    for id = 0 to t.n - 1 do
+      if not (Bitset.mem t.corrupted id) then begin
+        let ctx = Ctx.make ~n:t.n ~id ~seed in
+        let state, out = P.init t.config ctx in
+        t.states.(id) <- Some state;
+        t.undecided <- t.undecided + 1;
+        dispatch id out
+      end
+    done
+
+  let record_send t (e : P.msg Envelope.t) =
+    Metrics.record_send t.metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits t.config e.msg)
+
+  (* Every tracing site is guarded on [events] so a disabled run does
+     no extra work (and no allocation) in the hot loops. *)
+  let trace_round_start t ~round =
+    match t.events with
+    | None -> ()
+    | Some k -> Events.emit k (Events.Round_start { round })
+
+  let trace_msg t ~round ~byzantine ~delay (e : P.msg Envelope.t) =
+    match t.events with
+    | None -> ()
+    | Some k ->
+      let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
+      let bits = P.msg_bits t.config e.Envelope.msg in
+      if byzantine then
+        Events.emit k (Events.Inject { round; src = e.src; dst = e.dst; kind; bits; delay })
+      else Events.emit k (Events.Send { round; src = e.src; dst = e.dst; kind; bits; delay })
+
+  let trace_drop t ~round (e : P.msg Envelope.t) reason =
+    match t.events with
+    | None -> ()
+    | Some k ->
+      Events.emit k
+        (Events.Drop
+           {
+             round;
+             src = e.src;
+             dst = e.dst;
+             kind = Events.kind_of_pp P.pp_msg e.msg;
+             reason;
+           })
+
+  let check_decision t ~round id =
+    if t.outputs.(id) = None then begin
+      match t.states.(id) with
+      | None -> ()
+      | Some st ->
+        (match P.output st with
+        | Some v ->
+          t.outputs.(id) <- Some v;
+          Metrics.record_decision t.metrics ~id ~round;
+          t.undecided <- t.undecided - 1;
+          (match t.events with
+          | None -> ()
+          | Some k -> Events.emit k (Events.Decide { round; id; value = v }))
+        | None -> ())
+    end
+
+  let check_decisions t ~round =
+    for id = 0 to t.n - 1 do
+      check_decision t ~round id
+    done
+
+  (* The shared delivery step: consult the network-condition layer
+     (free under [Net.Reliable]), drop messages to Byzantine
+     destinations (the adversary already saw them via its observation
+     hook), hand the rest to the protocol and the resulting sends to
+     the engine's [respond]. *)
+  let deliver t ~round (e : P.msg Envelope.t) ~respond =
+    match Net.verdict t.net ~round ~src:e.Envelope.src ~dst:e.dst with
+    | Net.Lose reason -> trace_drop t ~round e reason
+    | Net.Pass -> (
+      match t.states.(e.dst) with
+      | None -> trace_drop t ~round e "byzantine-dst"
+      | Some st ->
+        (match t.events with
+        | None -> ()
+        | Some k ->
+          Events.emit k
+            (Events.Deliver
+               {
+                 round;
+                 src = e.src;
+                 dst = e.dst;
+                 kind = Events.kind_of_pp P.pp_msg e.msg;
+                 bits = P.msg_bits t.config e.msg;
+               }));
+        respond e.dst (P.on_receive t.config st ~round ~src:e.src e.msg))
+end

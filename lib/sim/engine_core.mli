@@ -1,0 +1,139 @@
+(** Shared core of the two engines.
+
+    {!Sync_engine} and {!Async_engine} used to be near-duplicate loops;
+    everything they book-keep identically lives here instead — the
+    adversary records and their validation, the reusable mailbox /
+    calendar-queue storage, and a per-run state ({!Make.t}) carrying
+    node states, metrics, decision tracking, the optional {!Events}
+    sink and the instantiated {!Net} layer. The engines keep only what
+    genuinely differs: the synchronous round structure vs the
+    adversary-scheduled calendar. *)
+
+open Fba_stdx
+
+(** {1 Adversaries}
+
+    The engines re-export these as [Sync_engine.adversary] /
+    [Async_engine.adversary]; use those aliases in protocol code. *)
+
+type 'msg sync_adversary = {
+  corrupted : Bitset.t;
+  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+      (** [observed] is the batch of correct-node messages the adversary
+          is entitled to have seen when choosing its round-[round]
+          messages (current round when rushing, previous otherwise).
+          Returned envelopes must have a corrupted [src]. *)
+}
+
+type 'msg async_adversary = {
+  corrupted : Bitset.t;
+  max_delay : int;  (** upper bound the engine enforces on [delay] *)
+  delay : time:int -> 'msg Envelope.t -> int;
+      (** delivery delay for a correct node's message, clamped to
+          [\[1, max_delay\]] *)
+  observe : time:int -> 'msg Envelope.t list -> unit;
+      (** full-information hook: all messages sent at [time] *)
+  inject : time:int -> ('msg Envelope.t * int) list;
+      (** messages from corrupted identities, each with its own delay *)
+}
+
+val null_sync_adversary : corrupted:Bitset.t -> 'msg sync_adversary
+
+val null_async_adversary : corrupted:Bitset.t -> 'msg async_adversary
+
+val validate_adversary_envelope :
+  who:string -> n:int -> corrupted:Bitset.t -> 'msg Envelope.t -> unit
+(** Raises [Invalid_argument] (prefixed with [who]) if the envelope is
+    out of range or its source is not corrupted. *)
+
+(** {1 Reusable delivery storage} *)
+
+(** Synchronous mailboxes: flat growable buffers reused across rounds
+    (double-buffered), so the steady-state engine allocates only the
+    envelopes themselves. *)
+module Mailbox : sig
+  type 'msg t = {
+    correct_out : 'msg Envelope.t Vec.t;  (** current round's correct sends *)
+    in_flight : 'msg Envelope.t Vec.t;  (** staged for delivery next round *)
+    deliveries : 'msg Envelope.t Vec.t;  (** the double buffer being drained *)
+  }
+
+  val create : unit -> 'msg t
+
+  val stage_deliveries : 'msg t -> unit
+  (** Swap [in_flight] into [deliveries] (clearing [in_flight]) so
+      sends can refill the former while the caller drains the latter. *)
+end
+
+(** Asynchronous calendar queue: a ring of [max_delay + 1] reusable
+    buckets indexed by [due mod width]. Delays clamped to
+    [\[1, max_delay\]] can never alias two live due times. *)
+module Calendar : sig
+  type 'msg t = {
+    width : int;
+    buckets : 'msg Envelope.t Vec.t array;
+    mutable pending : int;  (** scheduled but not yet consumed *)
+  }
+
+  val create : max_delay:int -> 'msg t
+
+  val schedule : 'msg t -> at:int -> 'msg Envelope.t -> unit
+
+  val due : 'msg t -> time:int -> 'msg Envelope.t Vec.t
+  (** The bucket for [time]; the caller drains and clears it. *)
+
+  val consumed : 'msg t -> int -> unit
+  (** Deduct [k] drained messages from [pending]. *)
+end
+
+(** {1 Per-run shared state} *)
+
+module Make (P : Protocol.S) : sig
+  type t = {
+    n : int;
+    config : P.config;
+    corrupted : Bitset.t;
+    metrics : Metrics.t;
+    states : P.state option array;
+    outputs : string option array;
+    mutable undecided : int;
+    events : Events.sink option;
+    net : Net.t;
+  }
+
+  val create :
+    ?events:Events.sink ->
+    net:Net.spec ->
+    config:P.config ->
+    n:int ->
+    seed:int64 ->
+    corrupted:Bitset.t ->
+    unit ->
+    t
+  (** Fresh run state; instantiates [net] from [seed]. *)
+
+  val init_nodes : t -> seed:int64 -> dispatch:(int -> (int * P.msg) list -> unit) -> unit
+  (** Create every correct node ([P.init]) and pass its initial sends
+      to [dispatch]. *)
+
+  val record_send : t -> P.msg Envelope.t -> unit
+
+  val trace_round_start : t -> round:int -> unit
+
+  val trace_msg : t -> round:int -> byzantine:bool -> delay:int -> P.msg Envelope.t -> unit
+  (** Emits [Send] (correct) or [Inject] (byzantine) when a sink is
+      attached; free otherwise. *)
+
+  val trace_drop : t -> round:int -> P.msg Envelope.t -> string -> unit
+
+  val check_decision : t -> round:int -> int -> unit
+
+  val check_decisions : t -> round:int -> unit
+
+  val deliver : t -> round:int -> P.msg Envelope.t -> respond:(int -> (int * P.msg) list -> unit) -> unit
+  (** The shared delivery step: {!Net.verdict} first (free under
+      [Reliable]), then the Byzantine-destination drop, then
+      [P.on_receive] with the produced sends handed to [respond].
+      Network losses are traced through {!Events.Drop} with the
+      {!Net} reason tags. *)
+end

@@ -1,0 +1,42 @@
+(** Signature a protocol must implement to run on the engines.
+
+    A protocol describes only *correct* nodes: Byzantine behaviour is
+    produced by an adversary strategy at the engine level, which may
+    inject arbitrary messages on behalf of corrupted identities. State
+    is expected to be mutable internally; handlers return the messages
+    to send. *)
+
+module type S = sig
+  type config
+  (** Static parameters shared by all nodes (system size, quorum sizes,
+      sampler seeds, ...). *)
+
+  type msg
+  (** Wire messages. *)
+
+  type state
+  (** Per-node mutable state. *)
+
+  val name : string
+
+  val init : config -> Ctx.t -> state * (int * msg) list
+  (** Create the node and return its round-0 sends as
+      [(destination, message)] pairs. *)
+
+  val on_round : config -> state -> round:int -> (int * msg) list
+  (** Clock hook, called at the start of every round (synchronous) or
+      time step (asynchronous), from round 1 on. *)
+
+  val on_receive : config -> state -> round:int -> src:int -> msg -> (int * msg) list
+  (** Deliver one message. [src] is authenticated by the network. *)
+
+  val output : state -> string option
+  (** The node's decision, once reached. Must be monotone: once
+      [Some v], it never changes. *)
+
+  val msg_bits : config -> msg -> int
+  (** Size of a message on the wire, in bits, headers included. Used
+      for the paper's communication-complexity accounting. *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+end

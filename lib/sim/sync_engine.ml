@@ -6,20 +6,23 @@
     before choosing its own (the paper's rushing adversary); in
     [`Non_rushing] mode it only sees the previous round's messages. In
     both modes it has full information: every message ever sent is
-    eventually passed to [act] through [observed]. *)
+    eventually passed to [act] through [observed].
+
+    Delivery itself is pluggable: the [?net] network-condition layer
+    ({!Net}) defaults to [Reliable] — the paper's model, bit-identical
+    to the goldens — and may drop deliveries (i.i.d. loss, crash-stop
+    receivers, transient partitions) for off-model robustness runs.
+    Shared bookkeeping (mailboxes, adversary validation, metrics,
+    decisions, tracing) lives in {!Engine_core}. *)
 
 open Fba_stdx
 
-type 'msg adversary = {
+type 'msg adversary = 'msg Engine_core.sync_adversary = {
   corrupted : Bitset.t;
   act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
-      (** [observed] is the batch of correct-node messages the adversary
-          is entitled to have seen when choosing its round-[round]
-          messages (current round when rushing, previous otherwise).
-          Returned envelopes must have a corrupted [src]. *)
 }
 
-let null_adversary ~corrupted = { corrupted; act = (fun ~round:_ ~observed:_ -> []) }
+let null_adversary = Engine_core.null_sync_adversary
 
 type mode = [ `Rushing | `Non_rushing ]
 
@@ -32,90 +35,36 @@ type 'state result = {
 }
 
 module Make (P : Protocol.S) = struct
+  module Core = Engine_core.Make (P)
+
   type nonrec adversary = P.msg adversary
 
   type nonrec result = P.state result
 
-  let validate_adversary_envelope ~n ~(corrupted : Bitset.t) (e : P.msg Envelope.t) =
-    if e.Envelope.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
-      invalid_arg "Sync_engine: adversary envelope out of range";
-    if not (Bitset.mem corrupted e.src) then
-      invalid_arg "Sync_engine: adversary may only send from corrupted identities"
+  let validate_adversary_envelope ~n ~corrupted e =
+    Engine_core.validate_adversary_envelope ~who:"Sync_engine" ~n ~corrupted e
 
-  let run ?(quiet_limit = 3) ?events ~(config : P.config) ~n ~seed ~(adversary : adversary)
-      ~(mode : mode) ~max_rounds () =
+  let run ?(quiet_limit = 3) ?events ?(net = Net.Reliable) ~(config : P.config) ~n ~seed
+      ~(adversary : adversary) ~(mode : mode) ~max_rounds () =
     if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
     let corrupted = adversary.corrupted in
-    let metrics = Metrics.create ~n ~corrupted in
-    let states : P.state option array = Array.make n None in
-    let outputs : string option array = Array.make n None in
-    let undecided = ref 0 in
-    (* Mailboxes: flat growable buffers reused across rounds, so the
-       steady-state engine allocates only the envelopes themselves.
-       [correct_out] collects the current round's correct sends,
-       [in_flight] holds what commit_round staged for next round, and
-       [deliveries] is the double buffer [in_flight] is swapped into
-       at delivery time. *)
-    let correct_out : P.msg Envelope.t Vec.t = Vec.create () in
-    let in_flight : P.msg Envelope.t Vec.t = Vec.create () in
-    let deliveries : P.msg Envelope.t Vec.t = Vec.create () in
+    let core = Core.create ?events ~net ~config ~n ~seed ~corrupted () in
+    let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create () in
     let send src (dst, msg) =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
-      Vec.push correct_out (Envelope.make ~src ~dst msg)
+      Vec.push mb.correct_out (Envelope.make ~src ~dst msg)
     in
-    (* Every tracing site is guarded on [events] so a disabled run does
-       no extra work (and no allocation) in the hot loops. *)
-    let trace_msg ~round ~byzantine (e : P.msg Envelope.t) =
-      match events with
-      | None -> ()
-      | Some k ->
-        let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
-        let bits = P.msg_bits config e.Envelope.msg in
-        if byzantine then
-          Events.emit k
-            (Events.Inject { round; src = e.src; dst = e.dst; kind; bits; delay = 1 })
-        else Events.emit k (Events.Send { round; src = e.src; dst = e.dst; kind; bits; delay = 1 })
-    in
-    (match events with
-    | None -> ()
-    | Some k -> Events.emit k (Events.Round_start { round = 0 }));
+    (* Hoisted so the delivery loop allocates no per-message closures. *)
+    let respond dst out = List.iter (send dst) out in
+    Core.trace_round_start core ~round:0;
     (* Round 0: initialize correct nodes. *)
-    for id = 0 to n - 1 do
-      if not (Bitset.mem corrupted id) then begin
-        let ctx = Ctx.make ~n ~id ~seed in
-        let state, out = P.init config ctx in
-        states.(id) <- Some state;
-        List.iter (send id) out;
-        incr undecided
-      end
-    done;
-    let check_decision ~round id =
-      if outputs.(id) = None then begin
-        match states.(id) with
-        | None -> ()
-        | Some st ->
-          (match P.output st with
-          | Some v ->
-            outputs.(id) <- Some v;
-            Metrics.record_decision metrics ~id ~round;
-            decr undecided;
-            (match events with
-            | None -> ()
-            | Some k -> Events.emit k (Events.Decide { round; id; value = v }))
-          | None -> ())
-      end
-    in
-    for id = 0 to n - 1 do
-      check_decision ~round:0 id
-    done;
-    let record (e : P.msg Envelope.t) =
-      Metrics.record_send metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits config e.msg)
-    in
+    Core.init_nodes core ~seed ~dispatch:(fun id out -> List.iter (send id) out);
+    Core.check_decisions core ~round:0;
     let commit_round ~round ~prev_correct =
       (* Ask the adversary for its round-[round] messages. The adversary
          interface stays list-based; the per-round list materialization
          here is the price of its full-information contract. *)
-      let this_round_correct = Vec.to_list correct_out in
+      let this_round_correct = Vec.to_list mb.correct_out in
       let observed =
         match mode with `Rushing -> this_round_correct | `Non_rushing -> prev_correct
       in
@@ -124,19 +73,19 @@ module Make (P : Protocol.S) = struct
       (* Byzantine messages are delivered before correct ones next
          round: adversary-favorable tie-breaking, so races (e.g. the
          overload filter of Algorithm 3) resolve for the worst case. *)
-      Vec.clear in_flight;
+      Vec.clear mb.in_flight;
       List.iter
         (fun e ->
-          record e;
-          trace_msg ~round ~byzantine:true e;
-          Vec.push in_flight e)
+          Core.record_send core e;
+          Core.trace_msg core ~round ~byzantine:true ~delay:1 e;
+          Vec.push mb.in_flight e)
         byz;
-      Vec.iter record correct_out;
+      Vec.iter (Core.record_send core) mb.correct_out;
       (match events with
       | None -> ()
-      | Some _ -> Vec.iter (trace_msg ~round ~byzantine:false) correct_out);
-      Vec.append in_flight correct_out;
-      Vec.clear correct_out;
+      | Some _ -> Vec.iter (Core.trace_msg core ~round ~byzantine:false ~delay:1) mb.correct_out);
+      Vec.append mb.in_flight mb.correct_out;
+      Vec.clear mb.correct_out;
       this_round_correct
     in
     let prev_correct = ref (commit_round ~round:0 ~prev_correct:[]) in
@@ -149,71 +98,41 @@ module Make (P : Protocol.S) = struct
     let quiet = ref 0 in
     let last_active = ref 0 in
     (* Main loop: rounds 1 .. max_rounds. *)
-    let continue = ref (!undecided > 0 || not (Vec.is_empty in_flight)) in
+    let continue = ref (core.undecided > 0 || not (Vec.is_empty mb.in_flight)) in
     while !continue && !round < max_rounds do
       incr round;
       let r = !round in
-      (match events with
-      | None -> ()
-      | Some k -> Events.emit k (Events.Round_start { round = r }));
+      Core.trace_round_start core ~round:r;
       (* Clock hook. *)
       for id = 0 to n - 1 do
-        match states.(id) with
+        match core.states.(id) with
         | None -> ()
         | Some st -> List.iter (send id) (P.on_round config st ~round:r)
       done;
       (* Deliver last round's messages: swap the staged mailbox into the
          delivery buffer so [send] can refill [correct_out]/[in_flight]
          while we iterate. *)
-      Vec.swap deliveries in_flight;
-      Vec.clear in_flight;
-      let delivered_any = not (Vec.is_empty deliveries) in
-      Vec.iter
-        (fun (e : P.msg Envelope.t) ->
-          match states.(e.Envelope.dst) with
-          | None ->
-            (* Destination is Byzantine: adversary saw it via observed. *)
-            (match events with
-            | None -> ()
-            | Some k ->
-              Events.emit k
-                (Events.Drop
-                   {
-                     round = r;
-                     src = e.src;
-                     dst = e.dst;
-                     kind = Events.kind_of_pp P.pp_msg e.msg;
-                     reason = "byzantine-dst";
-                   }))
-          | Some st ->
-            (match events with
-            | None -> ()
-            | Some k ->
-              Events.emit k
-                (Events.Deliver
-                   {
-                     round = r;
-                     src = e.src;
-                     dst = e.dst;
-                     kind = Events.kind_of_pp P.pp_msg e.msg;
-                     bits = P.msg_bits config e.msg;
-                   }));
-            List.iter (send e.dst) (P.on_receive config st ~round:r ~src:e.src e.msg))
-        deliveries;
-      for id = 0 to n - 1 do
-        check_decision ~round:r id
-      done;
+      Engine_core.Mailbox.stage_deliveries mb;
+      let delivered_any = not (Vec.is_empty mb.deliveries) in
+      Vec.iter (fun (e : P.msg Envelope.t) -> Core.deliver core ~round:r e ~respond) mb.deliveries;
+      Core.check_decisions core ~round:r;
       prev_correct := commit_round ~round:r ~prev_correct:!prev_correct;
-      if (not delivered_any) && Vec.is_empty in_flight then incr quiet
+      if (not delivered_any) && Vec.is_empty mb.in_flight then incr quiet
       else begin
         quiet := 0;
         last_active := r
       end;
       continue :=
-        (!undecided > 0 || not (Vec.is_empty in_flight) || !prev_correct <> [])
+        (core.undecided > 0 || not (Vec.is_empty mb.in_flight) || !prev_correct <> [])
         && !quiet < quiet_limit
     done;
     let rounds_used = if !quiet > 0 then !last_active else !round in
-    Metrics.set_rounds metrics rounds_used;
-    { metrics; outputs; states; all_decided = !undecided = 0; rounds_used }
+    Metrics.set_rounds core.metrics rounds_used;
+    {
+      metrics = core.metrics;
+      outputs = core.outputs;
+      states = core.states;
+      all_decided = core.undecided = 0;
+      rounds_used;
+    }
 end

@@ -1,0 +1,59 @@
+(** Synchronous round-based engine (Section 2.1 of the paper): a
+    message sent during round [r] is delivered during round [r+1],
+    subject to the pluggable {!Net} layer (default [Reliable] — the
+    paper's model). *)
+
+open Fba_stdx
+
+type 'msg adversary = 'msg Engine_core.sync_adversary = {
+  corrupted : Bitset.t;
+  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+      (** [observed] is the batch of correct-node messages the adversary
+          is entitled to have seen when choosing its round-[round]
+          messages (current round when rushing, previous otherwise).
+          Returned envelopes must have a corrupted [src]. *)
+}
+
+val null_adversary : corrupted:Bitset.t -> 'msg adversary
+(** Alias of {!Engine_core.null_sync_adversary}: corrupted identities
+    that never send. *)
+
+type mode = [ `Rushing | `Non_rushing ]
+
+type 'state result = {
+  metrics : Metrics.t;
+  outputs : string option array;
+  states : 'state option array;  (** [None] for corrupted identities *)
+  all_decided : bool;
+  rounds_used : int;
+}
+
+module Make (P : Protocol.S) : sig
+  type nonrec adversary = P.msg adversary
+
+  type nonrec result = P.state result
+
+  val validate_adversary_envelope : n:int -> corrupted:Bitset.t -> P.msg Envelope.t -> unit
+  (** Alias of {!Engine_core.validate_adversary_envelope} with this
+      engine's error prefix. *)
+
+  val run :
+    ?quiet_limit:int ->
+    ?events:Events.sink ->
+    ?net:Net.spec ->
+    config:P.config ->
+    n:int ->
+    seed:int64 ->
+    adversary:adversary ->
+    mode:mode ->
+    max_rounds:int ->
+    unit ->
+    result
+  (** [quiet_limit] (default 3) is the number of consecutive rounds
+      with no traffic after which the engine declares quiescence —
+      protocols with longer planned gaps must raise it. [net] defaults
+      to [Net.Reliable]; any other condition may drop deliveries
+      (attributed through {!Events.Drop} with the {!Net} reason tags).
+      [Net.Jitter] is a no-op here: the synchronous delivery schedule
+      {e is} the round structure. *)
+end

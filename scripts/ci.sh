@@ -54,3 +54,54 @@ else
   diff "$seq_out" "$par_out" >&2 || true
   exit 1
 fi
+
+# Robustness smoke test: the off-model network-condition sweep, shrunk
+# to one drop rate and one partition length (FBA_ROBUSTNESS_SMOKE),
+# must also be byte-identical whether sequential or sharded — the Net
+# layer's per-run PRNG state must not leak across cells or domains.
+FBA_ROBUSTNESS_SMOKE=1 dune exec bench/main.exe -- robustness --jobs 1 > "$seq_out"
+FBA_ROBUSTNESS_SMOKE=1 dune exec bench/main.exe -- robustness --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "robustness jobs smoke ok: --jobs 2 output identical to --jobs 1"
+else
+  echo "robustness smoke FAILED: --jobs 2 output differs from --jobs 1" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
+# Net-layer cost gate: with the default Net.Reliable, the cornering
+# perf target's allocation must stay within +1% of the most recent
+# recorded BENCH_<rev>.json — the pluggable layer must cost nothing
+# when off. (Allocation is deterministic for this workload, so a tight
+# relative bound is safe where a wall-time bound would flake.)
+if command -v python3 > /dev/null 2>&1; then
+  baseline=""
+  for rev in $(git log --format=%h 2>/dev/null); do
+    if [ -f "BENCH_$rev.json" ]; then baseline="BENCH_$rev.json"; break; fi
+  done
+  if [ -n "$baseline" ]; then
+    words="$(dune exec bench/main.exe -- perf-target fig1a/aer-cornering-n128)"
+    python3 - "$baseline" "$words" <<'EOF'
+import json, sys
+baseline_path, words = sys.argv[1], float(sys.argv[2])
+with open(baseline_path) as f:
+    doc = json.load(f)
+target = "fig1a/aer-cornering-n128"
+base = next((t["allocated_words_per_run"] for t in doc["targets"] if t["name"] == target), None)
+if base is None:
+    sys.exit(f"{baseline_path} has no {target} entry")
+ratio = words / base
+if ratio > 1.01:
+    sys.exit(
+        f"allocation gate FAILED: {target} now allocates {words:.0f} words/run, "
+        f"{(ratio - 1) * 100:.2f}% above the {baseline_path} baseline ({base:.0f})"
+    )
+print(f"allocation gate ok: {target} at {words:.0f} words/run, "
+      f"{(ratio - 1) * 100:+.2f}% vs {baseline_path}")
+EOF
+  else
+    echo "no recorded BENCH_<rev>.json baseline; skipping allocation gate" >&2
+  fi
+else
+  echo "python3 not found; skipping allocation gate" >&2
+fi

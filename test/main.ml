@@ -15,4 +15,5 @@ let () =
          Test_harness.suites;
          Test_props.suites;
          Test_determinism.suites;
+         Test_net.suites;
        ])
