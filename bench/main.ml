@@ -27,9 +27,16 @@
 
    Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|robustness|perf|all]
                    [--full] [--json] [--jobs N]
-          main.exe perf-target NAME   (scripting: print one target's
-                   allocated words per run — scripts/ci.sh diffs this
-                   against the recorded BENCH_<rev>.json baseline) *)
+          main.exe perf-target NAME [--record FILE]
+                   (scripting: print one target's allocated words per
+                   run — scripts/ci.sh diffs this against the recorded
+                   BENCH_<rev>.json baseline; --record also writes the
+                   measurement as a one-target BENCH-format file)
+          main.exe perf --compare BASE.json NEW.json [--tol PCT]
+                   [--metric time|alloc|both]
+                   (print per-target time/allocation deltas between two
+                   BENCH_<rev>.json files; with --tol, exit non-zero if
+                   any gated metric regressed beyond PCT percent) *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -154,6 +161,160 @@ let measure_target f =
   let words = (Gc.allocated_bytes () -. a0) /. 8.0 /. k in
   (time_ns, words, !runs)
 
+(* BENCH_<rev>.json rows share one serialization everywhere (perf
+   --json and perf-target --record), so the compare-mode parser below
+   only ever meets one shape. *)
+let write_bench_json ~path ~rev rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"targets\": [" rev;
+  List.iteri
+    (fun i (name, time_ns, words, runs) ->
+      Printf.fprintf oc
+        "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d }"
+        (if i = 0 then "" else ",")
+        name time_ns words runs)
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+(* --- perf --compare: diff two BENCH_<rev>.json files --- *)
+
+(* Minimal scanner for the rigid JSON this harness itself writes (see
+   [write_bench_json]): every target object carries "name",
+   "time_ns_per_run" and "allocated_words_per_run" in order. No
+   external JSON dependency — the container ships none. *)
+let parse_bench path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "perf --compare: cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let len = String.length s in
+  let find sub from =
+    let m = String.length sub in
+    let rec go i =
+      if i + m > len then None
+      else if String.sub s i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go from
+  in
+  let number from =
+    let stop = ref from in
+    while
+      !stop < len
+      && (match s.[!stop] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    match float_of_string_opt (String.sub s from (!stop - from)) with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "perf --compare: malformed number in %s at byte %d\n" path from;
+      exit 2
+  in
+  let field key from =
+    match find (Printf.sprintf "\"%s\": " key) from with
+    | Some i -> number i
+    | None ->
+      Printf.eprintf "perf --compare: %s: missing %S after byte %d\n" path key from;
+      exit 2
+  in
+  let rec targets from acc =
+    match find "\"name\": \"" from with
+    | None -> List.rev acc
+    | Some i ->
+      let close = try String.index_from s i '"' with Not_found -> len in
+      let name = String.sub s i (close - i) in
+      let time_ns = field "time_ns_per_run" close in
+      let words = field "allocated_words_per_run" close in
+      targets close ((name, time_ns, words) :: acc)
+  in
+  targets 0 []
+
+let pct delta base = if base = 0.0 then 0.0 else (delta -. base) /. base *. 100.0
+
+(* Per-target deltas between two recorded runs; exit 1 when any gated
+   metric regresses beyond [tol] percent (improvements never fail). *)
+let run_compare base_path new_path ~tol ~metric =
+  let base = parse_bench base_path in
+  let curr = parse_bench new_path in
+  Printf.printf "## perf compare: %s -> %s\n\n" base_path new_path;
+  let gate_time = metric = `Time || metric = `Both in
+  let gate_alloc = metric = `Alloc || metric = `Both in
+  let tbl =
+    Fba_stdx.Table.create
+      ~columns:
+        [
+          ("target", Fba_stdx.Table.Left);
+          ("time/run", Fba_stdx.Table.Right);
+          ("delta", Fba_stdx.Table.Right);
+          ("words/run", Fba_stdx.Table.Right);
+          ("delta", Fba_stdx.Table.Right);
+        ]
+  in
+  let failures = ref [] in
+  List.iter
+    (fun (name, bt, bw) ->
+      match List.find_opt (fun (n, _, _) -> n = name) curr with
+      | None -> Fba_stdx.Table.add_row tbl [ name; "-"; "dropped"; "-"; "dropped" ]
+      | Some (_, nt, nw) ->
+        let dt = pct nt bt and dw = pct nw bw in
+        Fba_stdx.Table.add_row tbl
+          [
+            name;
+            Printf.sprintf "%.2f ms" (nt /. 1e6);
+            Printf.sprintf "%+.1f%%" dt;
+            Printf.sprintf "%.0f" nw;
+            Printf.sprintf "%+.1f%%" dw;
+          ];
+        (match tol with
+        | Some tol ->
+          if gate_time && dt > tol then
+            failures := Printf.sprintf "%s: time %+.1f%% (tol %.1f%%)" name dt tol :: !failures;
+          if gate_alloc && dw > tol then
+            failures :=
+              Printf.sprintf "%s: allocation %+.1f%% (tol %.1f%%)" name dw tol :: !failures
+        | None -> ()))
+    base;
+  List.iter
+    (fun (name, _, _) ->
+      if not (List.exists (fun (n, _, _) -> n = name) base) then
+        Fba_stdx.Table.add_row tbl [ name; "-"; "new"; "-"; "new" ])
+    curr;
+  Fba_stdx.Table.print tbl;
+  print_newline ();
+  match !failures with
+  | [] ->
+    (match tol with
+    | Some tol ->
+      Printf.printf "compare gate ok: no target regressed beyond %.1f%% (%s)\n" tol
+        (match metric with `Time -> "time" | `Alloc -> "allocation" | `Both -> "time+allocation")
+    | None -> ());
+    exit 0
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "compare gate FAILED: %s\n" f) (List.rev fs);
+    exit 1
+
+(* The sweep-scale end-to-end configurations the micro targets
+   extrapolate to, each measured once. n=4096 exists because the packed
+   message plane makes it affordable; it is the first grid tier beyond
+   the historical n=1024 ceiling. *)
+let e2e_targets = [ ("e2e/aer-cornering-n1024", 1024); ("e2e/aer-cornering-n4096", 4096) ]
+
+let measure_e2e (name, n) =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed:1L in
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let words = (Gc.allocated_bytes () -. a0) /. 8.0 in
+  Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" name ns words;
+  (name, ns, words, 1)
+
 let run_perf_json () =
   (match Sys.getenv_opt "FBA_SKIP_CI" with
   | Some _ -> print_endline "## perf gate: FBA_SKIP_CI set, skipping scripts/ci.sh"
@@ -177,29 +338,10 @@ let run_perf_json () =
         (name, time_ns, words, runs))
       perf_tests
   in
-  (* One large-n end-to-end run, measured once: the sweep-scale
-     configuration the micro targets extrapolate to. *)
-  let e2e_name = "e2e/aer-cornering-n1024" in
-  let sc = Runner.scenario_of_setup Runner.default_setup ~n:1024 ~seed:1L in
-  let t0 = Unix.gettimeofday () in
-  let a0 = Gc.allocated_bytes () in
-  ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
-  let e2e_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-  let e2e_words = (Gc.allocated_bytes () -. a0) /. 8.0 in
-  Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" e2e_name e2e_ns e2e_words;
-  let rows = rows @ [ (e2e_name, e2e_ns, e2e_words, 1) ] in
+  let rows = rows @ List.map measure_e2e e2e_targets in
   let rev = git_rev () in
   let path = Printf.sprintf "BENCH_%s.json" rev in
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"targets\": [" rev;
-  List.iteri
-    (fun i (name, time_ns, words, runs) ->
-      Printf.fprintf oc "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d }"
-        (if i = 0 then "" else ",")
-        name time_ns words runs)
-    rows;
-  Printf.fprintf oc "\n  ]\n}\n";
-  close_out oc;
+  write_bench_json ~path ~rev rows;
   Printf.printf "\nwrote %s\n" path
 
 (* --- Entry point --- *)
@@ -239,19 +381,58 @@ let () =
   let which = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let which = if which = [] then [ "all" ] else which in
   (match which with
-  | [ "perf-target"; name ] -> (
-    (* Bare output by design: one number, for scripts/ci.sh. *)
+  | "perf-target" :: name :: rest -> (
+    let record =
+      match rest with
+      | [] -> None
+      | [ "--record"; path ] -> Some path
+      | _ ->
+        prerr_endline "perf-target usage: perf-target NAME [--record FILE]";
+        exit 2
+    in
+    (* Bare stdout by design: one number, for scripts/ci.sh. [--record]
+       additionally writes the full measurement as a one-target
+       BENCH-format file so [perf --compare] can gate on it. *)
     match List.assoc_opt name perf_tests with
     | Some f ->
-      let _, words, _ = measure_target f in
+      let time_ns, words, runs = measure_target f in
+      (match record with
+      | Some path -> write_bench_json ~path ~rev:(git_rev ()) [ (name, time_ns, words, runs) ]
+      | None -> ());
       Printf.printf "%.0f\n" words;
       exit 0
     | None ->
       Printf.eprintf "unknown perf target %S\n" name;
       exit 2)
-  | "perf-target" :: _ ->
-    prerr_endline "perf-target expects exactly one target name";
+  | [ "perf-target" ] ->
+    prerr_endline "perf-target expects a target name";
     exit 2
+  | "perf" :: "--compare" :: rest ->
+    let rec parse files tol metric = function
+      | [] -> (List.rev files, tol, metric)
+      | "--tol" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 -> parse files (Some t) metric rest
+        | _ ->
+          Printf.eprintf "--tol expects a non-negative percentage, got %S\n" v;
+          exit 2)
+      | "--metric" :: v :: rest -> (
+        match v with
+        | "time" -> parse files tol `Time rest
+        | "alloc" -> parse files tol `Alloc rest
+        | "both" -> parse files tol `Both rest
+        | _ ->
+          Printf.eprintf "--metric expects time|alloc|both, got %S\n" v;
+          exit 2)
+      | f :: rest -> parse (f :: files) tol metric rest
+    in
+    (match parse [] None `Both rest with
+    | [ base; curr ], tol, metric -> run_compare base curr ~tol ~metric
+    | _ ->
+      prerr_endline
+        "perf --compare usage: perf --compare BASE.json NEW.json [--tol PCT] [--metric \
+         time|alloc|both]";
+      exit 2)
   | _ -> ());
   let run_exp e =
     Experiment.run ~jobs ~full e ~out:stdout ();

@@ -3,9 +3,10 @@ open Fba_core
 module Envelope = Fba_sim.Envelope
 module Cache = Fba_samplers.Cache
 module Push_plan = Fba_samplers.Push_plan
+module Packed = Msg.Packed
 
-type sync = Msg.t Fba_sim.Sync_engine.adversary
-type async = Msg.t Fba_sim.Async_engine.adversary
+type sync = Aer.msg Fba_sim.Sync_engine.adversary
+type async = Aer.msg Fba_sim.Async_engine.adversary
 
 let adversary_rng (sc : Scenario.t) tag =
   let params = sc.Scenario.params in
@@ -15,6 +16,12 @@ let adversary_rng (sc : Scenario.t) tag =
 let random_string rng bits = Bytes.unsafe_to_string (Prng.bits rng bits)
 
 let byzantine_ids (sc : Scenario.t) = Array.of_list (Bitset.to_list sc.Scenario.corrupted)
+
+(* Injected messages live on the packed plane like everything else;
+   adversarial strings/labels are registered in the run's interner at
+   injection time. Adversaries are deterministic, so the registration
+   order — hence every id — is too. *)
+let intern_of (sc : Scenario.t) = sc.Scenario.intern
 
 let silent (sc : Scenario.t) =
   Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
@@ -48,7 +55,7 @@ let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
       let outs = ref [] in
       Array.iter
         (fun s ->
-          let msg = Msg.Push s in
+          let msg = Packed.push ~sid:(Intern.intern (intern_of sc) s) in
           Array.iter
             (fun y ->
               if blast then
@@ -67,22 +74,31 @@ let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
   { Fba_sim.Sync_engine.corrupted = sc.Scenario.corrupted; act }
 
 let wrong_answer (sc : Scenario.t) =
-  let gstring = sc.Scenario.gstring in
+  let gsid = Intern.intern (intern_of sc) sc.Scenario.gstring in
   let corrupted = sc.Scenario.corrupted in
-  let replied : (int * int * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let replied : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let act ~round:_ ~observed =
     List.filter_map
-      (fun (e : Msg.t Envelope.t) ->
-        match e.Envelope.msg with
-        | Msg.Poll { s; _ }
-          when s <> gstring
-               && Bitset.mem corrupted e.dst
-               && (not (Bitset.mem corrupted e.src))
-               && not (Hashtbl.mem replied (e.dst, e.src, s)) ->
-          Hashtbl.add replied (e.dst, e.src, s) ();
-          Some (Envelope.make ~src:e.dst ~dst:e.src (Msg.Answer s))
-        | _ -> None)
-      observed
+      (fun (e : Aer.msg Envelope.t) ->
+        let m = e.Envelope.msg in
+        let sid = Packed.sid m in
+        if
+          Packed.tag m = Packed.tag_poll
+          && sid <> gsid
+          && Bitset.mem corrupted e.dst
+          && (not (Bitset.mem corrupted e.src))
+          &&
+          (* (answerer, poller, string) replied-once key, packed like
+             the protocol's own tables: ids fit 13 bits each. *)
+          let key = (((e.dst lsl 13) lor e.src) lsl 13) lor sid in
+          not (Hashtbl.mem replied key)
+          && begin
+               Hashtbl.add replied key ();
+               true
+             end
+        then Some (Envelope.make ~src:e.dst ~dst:e.src (Packed.answer ~sid))
+        else None)
+      (observed ())
   in
   { Fba_sim.Sync_engine.corrupted; act }
 
@@ -93,6 +109,7 @@ let wrong_answer (sc : Scenario.t) =
 let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
   let params = sc.Scenario.params in
   let gstring = sc.Scenario.gstring in
+  let gsid = Intern.intern (intern_of sc) gstring in
   let corrupted = sc.Scenario.corrupted in
   let qh = Cache.create (Params.sampler_h params) in
   let qj = Cache.create (Params.sampler_j params) in
@@ -100,14 +117,14 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
   (* Rank poll-list members of the observed honest gstring polls. *)
   let freq : (int, int) Hashtbl.t = Hashtbl.create 97 in
   List.iter
-    (fun (e : Msg.t Envelope.t) ->
-      match e.Envelope.msg with
-      | Msg.Poll { s; _ }
-        when s = gstring
-             && (not (Bitset.mem corrupted e.src))
-             && not (Bitset.mem corrupted e.dst) ->
-        Hashtbl.replace freq e.dst (1 + Option.value ~default:0 (Hashtbl.find_opt freq e.dst))
-      | _ -> ())
+    (fun (e : Aer.msg Envelope.t) ->
+      if
+        Packed.tag e.Envelope.msg = Packed.tag_poll
+        && Packed.sid e.Envelope.msg = gsid
+        && (not (Bitset.mem corrupted e.src))
+        && not (Bitset.mem corrupted e.dst)
+      then
+        Hashtbl.replace freq e.dst (1 + Option.value ~default:0 (Hashtbl.find_opt freq e.dst)))
     observed;
   let byz = byzantine_ids sc in
   let cap = params.Params.pull_filter in
@@ -172,13 +189,16 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
         end
       done;
       let r = !best_r in
+      let rid = Intern.intern_label (intern_of sc) r in
+      let poll_msg = Packed.poll ~sid:gsid ~rid in
+      let pull_msg = Packed.pull ~sid:gsid ~rid in
       Cache.iter_xr qj ~x:a ~r (fun w ->
           (match Hashtbl.find need w with
           | n when !n > 0 -> decr n
           | _ | (exception Not_found) -> ());
-          outs := Envelope.make ~src:a ~dst:w (Msg.Poll { s = gstring; r }) :: !outs);
+          outs := Envelope.make ~src:a ~dst:w poll_msg :: !outs);
       Array.iter
-        (fun y -> outs := Envelope.make ~src:a ~dst:y (Msg.Pull { s = gstring; r }) :: !outs)
+        (fun y -> outs := Envelope.make ~src:a ~dst:y pull_msg :: !outs)
         (Cache.quorum_sx qh ~s:gstring ~x:a))
     byz;
   !outs
@@ -188,7 +208,7 @@ let cornering ?(labels_per_search = 64) (sc : Scenario.t) =
   let act ~round ~observed =
     if round = 0 && not !fired then begin
       fired := true;
-      cornering_plan ~labels_per_search sc observed
+      cornering_plan ~labels_per_search sc (observed ())
     end
     else []
   in
@@ -230,8 +250,9 @@ let quorum_capture ?(victims = 4) ?strings_per_victim ?(max_tries = 400) (sc : S
             let byz_members = Array.of_list (List.filter (Bitset.mem corrupted) (Array.to_list quorum)) in
             if Array.length byz_members >= maj then begin
               incr planted;
+              let msg = Packed.push ~sid:(Intern.intern (intern_of sc) s) in
               Array.iter
-                (fun y -> outs := Envelope.make ~src:y ~dst:v (Msg.Push s) :: !outs)
+                (fun y -> outs := Envelope.make ~src:y ~dst:v msg :: !outs)
                 byz_members
             end
           done)
@@ -247,15 +268,18 @@ let async_silent (sc : Scenario.t) =
 let async_of_sync ?(max_delay = 4) (sc : Scenario.t) (attack : sync) =
   if max_delay < 1 then invalid_arg "Aer_attacks.async_of_sync: max_delay < 1";
   let corrupted = sc.Scenario.corrupted in
-  let window : Msg.t Envelope.t list ref = ref [] in
-  let observe ~time:_ envs = window := List.rev_append envs !window in
+  let window : Aer.msg Envelope.t list ref = ref [] in
+  (* The async observation hook is per-message (field-based); the
+     lifted sync strategy wants a batch, so accumulate a window. *)
+  let observe ~time:_ ~src ~dst msg = window := Envelope.make ~src ~dst msg :: !window in
   let inject ~time =
     if time mod max_delay = 0 then begin
       let observed = List.rev !window in
       window := [];
       List.map
         (fun e -> (e, 1))
-        (attack.Fba_sim.Sync_engine.act ~round:(time / max_delay) ~observed)
+        (attack.Fba_sim.Sync_engine.act ~round:(time / max_delay)
+           ~observed:(fun () -> observed))
     end
     else []
   in
@@ -272,12 +296,13 @@ let async_cornering ?(max_delay = 4) ?(labels_per_search = 64) (sc : Scenario.t)
   let corrupted = sc.Scenario.corrupted in
   (* Content-inspecting schedule: traffic serving the adversary's own
      pull chains travels at full speed, honest traffic crawls. *)
-  let delay ~time:_ (e : Msg.t Envelope.t) =
-    if Bitset.mem corrupted e.Envelope.src || Bitset.mem corrupted e.dst then 1
+  let delay ~time:_ ~src ~dst msg =
+    if Bitset.mem corrupted src || Bitset.mem corrupted dst then 1
     else begin
-      match e.Envelope.msg with
-      | Msg.Fw1 { x; _ } | Msg.Fw2 { x; _ } -> if Bitset.mem corrupted x then 1 else max_delay
-      | Msg.Push _ | Msg.Poll _ | Msg.Pull _ | Msg.Answer _ -> max_delay
+      let tag = Packed.tag msg in
+      if (tag = Packed.tag_fw1 || tag = Packed.tag_fw2) && Bitset.mem corrupted (Packed.x msg)
+      then 1
+      else max_delay
     end
   in
   { base with Fba_sim.Async_engine.delay }

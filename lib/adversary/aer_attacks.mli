@@ -19,8 +19,8 @@
 
 open Fba_core
 
-type sync = Msg.t Fba_sim.Sync_engine.adversary
-type async = Msg.t Fba_sim.Async_engine.adversary
+type sync = Aer.msg Fba_sim.Sync_engine.adversary
+type async = Aer.msg Fba_sim.Async_engine.adversary
 
 val silent : Scenario.t -> sync
 (** Corrupted nodes send nothing at all (fail-stop). AER guarantees

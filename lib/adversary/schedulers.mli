@@ -2,18 +2,20 @@
 
     The asynchronous adversary's scheduling power is a delay function;
     these are the standard shapes used by the experiments. All are
-    deterministic (hash-based) so executions are reproducible. *)
+    deterministic (hash-based) so executions are reproducible. Each
+    matches the field-based [delay] slot of
+    {!Fba_sim.Async_engine.adversary} — per-message scheduling without
+    materializing an envelope. *)
 
-open Fba_sim
-
-val unit_delay : time:int -> 'msg Envelope.t -> int
+val unit_delay : time:int -> src:int -> dst:int -> 'msg -> int
 (** Every message takes one step (synchronous-like schedule). *)
 
-val uniform_random : seed:int64 -> max_delay:int -> time:int -> 'msg Envelope.t -> int
+val uniform_random : seed:int64 -> max_delay:int -> time:int -> src:int -> dst:int -> 'msg -> int
 (** Delay drawn deterministically from [\[1, max_delay\]] per
     (time, src, dst) — a fair but jittery network. *)
 
-val slow_correct : corrupted:Fba_stdx.Bitset.t -> max_delay:int -> time:int -> 'msg Envelope.t -> int
+val slow_correct :
+  corrupted:Fba_stdx.Bitset.t -> max_delay:int -> time:int -> src:int -> dst:int -> 'msg -> int
 (** The classic adversarial schedule: messages between correct nodes
     crawl at [max_delay], everything touching a Byzantine node is
     instant. Combined with injection this gives the adversary a

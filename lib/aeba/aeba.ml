@@ -291,7 +291,9 @@ let msg_bits cfg m =
   in
   header + payload
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Contrib { slot; _ } -> Format.fprintf fmt "Contrib(slot=%d)" slot
   | Pk { slot; inner = Phase_king.Value _ } -> Format.fprintf fmt "Pk(Value, slot=%d)" slot
   | Pk { slot; inner = Phase_king.King _ } -> Format.fprintf fmt "Pk(King, slot=%d)" slot

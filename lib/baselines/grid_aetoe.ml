@@ -101,7 +101,9 @@ let msg_bits cfg m =
   let header = 8 + (2 * id_bits) in
   match m with Along_row _ | Along_col _ -> header + cfg.str_bits
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Along_row _ -> Format.fprintf fmt "Along_row"
   | Along_col _ -> Format.fprintf fmt "Along_col"
 

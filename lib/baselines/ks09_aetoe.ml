@@ -70,7 +70,9 @@ let msg_bits cfg (Push _) =
   let id_bits = Intx.ceil_log2 (max 2 cfg.n) in
   8 + (2 * id_bits) + cfg.str_bits
 
-let pp_msg fmt (Push _) = Format.fprintf fmt "Push"
+let receive_into = None
+
+let pp_msg _cfg fmt (Push _) = Format.fprintf fmt "Push"
 
 let total_rounds = 3
 

@@ -94,7 +94,9 @@ let msg_bits cfg m =
   let header = 8 + (2 * id_bits) in
   match m with Query -> header | Reply _ -> header + cfg.str_bits
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Query -> Format.fprintf fmt "Query"
   | Reply _ -> Format.fprintf fmt "Reply"
 

@@ -40,7 +40,9 @@ let msg_bits cfg m =
   let header = 8 + (2 * id_bits) in
   match m with Phase_king.Value _ | Phase_king.King _ -> header + 8 + cfg.str_bits
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Phase_king.Value _ -> Format.fprintf fmt "Value"
   | Phase_king.King _ -> Format.fprintf fmt "King"
 

@@ -140,7 +140,9 @@ let msg_bits cfg m =
   let header = 8 + (2 * id_bits) in
   match m with Report _ -> header + 8 + 1 | Proposal _ -> header + 8 + 2
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Report { k; b } -> Format.fprintf fmt "Report(%d, %b)" k b
   | Proposal { k; p } ->
     Format.fprintf fmt "Proposal(%d, %s)" k

@@ -1,10 +1,12 @@
 open Fba_stdx
 module Cache = Fba_samplers.Cache
 module Push_plan = Fba_samplers.Push_plan
+module Packed = Msg.Packed
 
 type config = {
   params : Params.t;
   scenario : Scenario.t;
+  intern : Intern.t;  (* the scenario's string/label interner *)
   qi : Cache.t;  (* push quorums I *)
   qh : Cache.t;  (* pull quorums H *)
   qj : Cache.t;  (* poll lists J *)
@@ -19,6 +21,7 @@ let config_of_scenario ?(strict_drop = false) ?events (scenario : Scenario.t) =
   {
     params;
     scenario;
+    intern = scenario.Scenario.intern;
     qi = Cache.create si;
     qh = Cache.create (Params.sampler_h params);
     qj = Cache.create (Params.sampler_j params);
@@ -29,8 +32,15 @@ let config_of_scenario ?(strict_drop = false) ?events (scenario : Scenario.t) =
 
 let config_params c = c.params
 let config_scenario c = c.scenario
+let config_intern c = c.intern
 
-type msg = Msg.t
+(* Messages live on the packed plane: one immediate int each (Msg.Packed
+   layout), with candidate strings and poll labels carried as interner
+   ids. Handlers never materialize the variant form. *)
+type msg = Packed.t
+
+let pack cfg m = Packed.pack cfg.intern m
+let unpack cfg p = Packed.unpack cfg.intern p
 
 (* Small imperative helpers over Hashtbl-as-set. *)
 let set () : (int, unit) Hashtbl.t = Hashtbl.create 8
@@ -44,17 +54,23 @@ let set_add tbl v =
 
 let set_card = Hashtbl.length
 
+(* The historical tables were keyed by (x, s) or (s, x) tuples; with
+   both coordinates now small ints the pair packs into one immediate
+   key, so every probe is hash-of-int with no per-lookup boxing. *)
+let key_xs ~x ~sid = (x lsl 13) lor sid
+let key_sx ~sid ~x = (sid lsl 13) lor x
+
 (* Per (s, x) forwarding state of Algorithm 2's second handler. *)
 type fw1_record = {
   f1_senders : (int, unit) Hashtbl.t;  (* distinct y ∈ H(s,x) seen *)
-  f1_targets : (int, int64) Hashtbl.t;  (* verified w ↦ label r *)
+  f1_targets : (int, int) Hashtbl.t;  (* verified w ↦ label id *)
   f1_served : (int, unit) Hashtbl.t;  (* w's already sent an Fw2 *)
 }
 
 (* An outstanding poll of Algorithm 1, with the optional re-poll
    extension state (Params.max_poll_attempts). *)
 type poll = {
-  mutable p_r : int64;
+  mutable p_rid : int;  (* interner id of the current label *)
   mutable p_answers : (int, unit) Hashtbl.t;
   mutable p_attempts : int;
   mutable p_issued : int;  (* round of the last (re-)issue *)
@@ -62,22 +78,26 @@ type poll = {
 
 type state = {
   ctx : Fba_sim.Ctx.t;
+  intern : Intern.t;  (* shared with the config; here so accessors resolve ids *)
   mutable cur_round : int;  (* last round seen, for phase-marker stamps *)
-  mutable belief : string;  (* s_this *)
-  mutable decided : string option;
-  candidates : (string, unit) Hashtbl.t;  (* L_x *)
-  push_senders : (string, (int, unit) Hashtbl.t) Hashtbl.t;
-  polls : (string, poll) Hashtbl.t;
-  pulls_seen : (int * string, (int64, unit) Hashtbl.t) Hashtbl.t;
-      (* Pull dedup: labels already routed per (x, s); capped at
+  mutable belief : int;  (* s_this, as an interned id *)
+  mutable decided_sid : int;  (* -1 while undecided *)
+  candidates : (int, unit) Hashtbl.t;  (* L_x *)
+  push_senders : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  polls : (int, poll) Hashtbl.t;
+  pulls_seen : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* Pull dedup: label ids already routed per (x, s); capped at
          max_poll_attempts to bound the Fw1 amplification *)
-  fw1 : (string * int, fw1_record) Hashtbl.t;
-  fw2 : (string * int, (int, unit) Hashtbl.t) Hashtbl.t;  (* distinct z ∈ H(s,this) *)
-  polled : (int * string, unit) Hashtbl.t;  (* Algorithm 3's Polled set *)
-  answer_counts : (string, int ref) Hashtbl.t;  (* Count_s *)
-  answered : (int * string, unit) Hashtbl.t;
-  mutable muted : (string * int) list;  (* answer-ready pairs gated by the filter *)
-  mutable deferred : (int * Msg.t) list;  (* belief-mismatched messages *)
+  fw1 : (int, fw1_record) Hashtbl.t;
+  fw2 : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* distinct z ∈ H(s,this) *)
+  polled : (int, unit) Hashtbl.t;  (* Algorithm 3's Polled set *)
+  answer_counts : (int, int ref) Hashtbl.t;  (* Count_s *)
+  answered : (int, unit) Hashtbl.t;
+  muted : int Vec.t;  (* answer-ready (s, x) keys gated by the filter *)
+  deferred_src : int Vec.t;  (* belief-mismatched messages, parallel lanes *)
+  deferred_msg : int Vec.t;
+  scratch_w : int Vec.t;  (* reusable buffers for the Fw1 serve-all burst *)
+  scratch_rid : int Vec.t;
   mutable push_sent : int;
   mutable answers_emitted : int;
 }
@@ -99,233 +119,267 @@ let mark cfg st name =
   | None -> ()
   | Some k -> Fba_sim.Events.phase k ~round:st.cur_round name
 
-let count_of tbl key = match Hashtbl.find_opt tbl key with Some c -> set_card c | None -> 0
+(* [Hashtbl.find] + exception instead of [find_opt]: int-keyed probes
+   stay allocation-free on both hit and miss. *)
+let count_of tbl key =
+  match Hashtbl.find tbl key with c -> set_card c | exception Not_found -> 0
 
 let counter_of tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some c -> c
-  | None ->
+  match Hashtbl.find tbl key with
+  | c -> c
+  | exception Not_found ->
     let c = set () in
     Hashtbl.add tbl key c;
     c
 
-let answer_count st s =
-  match Hashtbl.find_opt st.answer_counts s with
-  | Some r -> r
-  | None ->
+let answer_count st sid =
+  match Hashtbl.find st.answer_counts sid with
+  | r -> r
+  | exception Not_found ->
     let r = ref 0 in
-    Hashtbl.add st.answer_counts s r;
+    Hashtbl.add st.answer_counts sid r;
     r
 
-(* Algorithm 1: poll a fresh random sample and the pull quorum for s. *)
-let issue_poll ?(round = 0) cfg st s =
+(* Algorithm 1: poll a fresh random sample and the pull quorum for s.
+   Handlers push outgoing messages through [emit] instead of returning
+   lists; emission order is exactly the order the historical list API
+   delivered, so schedules are byte-identical. *)
+let issue_poll ?(round = 0) cfg st ~emit sid =
   mark cfg st "poll";
   let id = st.ctx.Fba_sim.Ctx.id in
   let r = Prng.int64 st.ctx.Fba_sim.Ctx.rng in
-  (match Hashtbl.find_opt st.polls s with
-  | Some p ->
-    p.p_r <- r;
+  let rid = Intern.intern_label cfg.intern r in
+  (match Hashtbl.find st.polls sid with
+  | p ->
+    p.p_rid <- rid;
     p.p_answers <- set ();
     p.p_attempts <- p.p_attempts + 1;
     p.p_issued <- round
-  | None ->
-    Hashtbl.replace st.polls s { p_r = r; p_answers = set (); p_attempts = 1; p_issued = round });
-  let poll_msg = Msg.Poll { s; r } in
-  let pull_msg = Msg.Pull { s; r } in
-  let to_poll =
-    Array.to_list (Array.map (fun w -> (w, poll_msg)) (Cache.quorum_xr cfg.qj ~x:id ~r))
-  in
-  let to_pull =
-    Array.to_list (Array.map (fun y -> (y, pull_msg)) (Cache.quorum_sx cfg.qh ~s ~x:id))
-  in
-  to_poll @ to_pull
+  | exception Not_found ->
+    Hashtbl.replace st.polls sid { p_rid = rid; p_answers = set (); p_attempts = 1; p_issued = round });
+  let poll_msg = Packed.poll ~sid ~rid in
+  let pull_msg = Packed.pull ~sid ~rid in
+  let qj = Cache.quorum_rid cfg.qj ~x:id ~rid ~r in
+  for i = 0 to Array.length qj - 1 do
+    emit qj.(i) poll_msg
+  done;
+  let qh = Cache.quorum_sid cfg.qh ~sid ~s:(Intern.string cfg.intern sid) ~x:id in
+  for i = 0 to Array.length qh - 1 do
+    emit qh.(i) pull_msg
+  done
 
 (* Algorithm 3's answer emission, gated by the log² n filter: an
    overloaded node waits until it has decided before answering more. *)
-let try_answer cfg st s x =
+let try_answer cfg st ~emit sid x =
   if
-    Hashtbl.mem st.polled (x, s)
-    && (not (Hashtbl.mem st.answered (x, s)))
-    && count_of st.fw2 (s, x) >= Params.majority_h cfg.params
+    Hashtbl.mem st.polled (key_xs ~x ~sid)
+    && (not (Hashtbl.mem st.answered (key_xs ~x ~sid)))
+    && count_of st.fw2 (key_sx ~sid ~x) >= Params.majority_h cfg.params
   then begin
-    let cnt = answer_count st s in
-    if st.decided <> None || !cnt < cfg.params.Params.pull_filter then begin
+    let cnt = answer_count st sid in
+    if st.decided_sid >= 0 || !cnt < cfg.params.Params.pull_filter then begin
       incr cnt;
-      Hashtbl.add st.answered (x, s) ();
+      Hashtbl.add st.answered (key_xs ~x ~sid) ();
       st.answers_emitted <- st.answers_emitted + 1;
-      [ (x, Msg.Answer s) ]
+      emit x (Packed.answer ~sid)
     end
-    else begin
-      st.muted <- (s, x) :: st.muted;
-      []
-    end
+    else Vec.push st.muted (key_sx ~sid ~x)
   end
-  else []
 
 (* Push phase acceptance: s enters L_x on a strict majority of I(s, x). *)
-let rec handle_push cfg st ~src s =
-  if st.decided <> None || Hashtbl.mem st.candidates s then []
+let rec handle_push cfg st ~emit ~src sid =
+  if st.decided_sid >= 0 || Hashtbl.mem st.candidates sid then ()
   else begin
     let id = st.ctx.Fba_sim.Ctx.id in
-    if not (Cache.mem_sx cfg.qi ~s ~x:id ~y:src) then []
-    else begin
-      let senders = counter_of st.push_senders s in
+    if Cache.mem_sid cfg.qi ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src then begin
+      let senders = counter_of st.push_senders sid in
       if set_add senders src && set_card senders >= Params.majority_i cfg.params then begin
-        Hashtbl.add st.candidates s ();
-        issue_poll cfg st s
+        Hashtbl.add st.candidates sid ();
+        issue_poll cfg st ~emit sid
       end
-      else []
     end
   end
 
-and handle_poll cfg st ~src s r =
+and handle_poll cfg st ~emit ~src p =
+  let sid = Packed.sid p and rid = Packed.rid p in
   let id = st.ctx.Fba_sim.Ctx.id in
-  if not (Cache.mem_xr cfg.qj ~x:src ~r ~y:id) then []
-  else begin
-    if not (Hashtbl.mem st.polled (src, s)) then Hashtbl.add st.polled (src, s) ();
+  if Cache.mem_rid cfg.qj ~x:src ~rid ~r:(Intern.label cfg.intern rid) ~y:id then begin
+    if not (Hashtbl.mem st.polled (key_xs ~x:src ~sid)) then
+      Hashtbl.add st.polled (key_xs ~x:src ~sid) ();
     (* The Fw2 majority may already be in (asynchronous reordering):
        Algorithm 3's Poll handler answers immediately in that case. *)
-    try_answer cfg st s src
+    try_answer cfg st ~emit sid src
   end
 
-and handle_pull cfg st ~src s r =
-  if s <> st.belief then defer cfg st ~src (Msg.Pull { s; r })
+and handle_pull cfg st ~emit ~src p =
+  let sid = Packed.sid p in
+  if sid <> st.belief then defer cfg st ~src p
   else begin
+    let rid = Packed.rid p in
     let labels =
-      match Hashtbl.find_opt st.pulls_seen (src, s) with
-      | Some l -> l
-      | None ->
+      match Hashtbl.find st.pulls_seen (key_xs ~x:src ~sid) with
+      | l -> l
+      | exception Not_found ->
         let l = Hashtbl.create 2 in
-        Hashtbl.add st.pulls_seen (src, s) l;
+        Hashtbl.add st.pulls_seen (key_xs ~x:src ~sid) l;
         l
     in
-    if Hashtbl.mem labels r || Hashtbl.length labels >= cfg.params.Params.max_poll_attempts
-    then []
+    if Hashtbl.mem labels rid || Hashtbl.length labels >= cfg.params.Params.max_poll_attempts
+    then ()
     else begin
-    Hashtbl.add labels r ();
-    let id = st.ctx.Fba_sim.Ctx.id in
-    if not (Cache.mem_sx cfg.qh ~s ~x:src ~y:id) then []
-    else begin
-      (* Algorithm 2, first handler: fan the request out to the pull
-         quorums of every poll-list member. *)
-      mark cfg st "fw1";
-      let outs = ref [] in
-      Array.iter
-        (fun w ->
-          let m = Msg.Fw1 { x = src; s; r; w } in
-          Array.iter (fun z -> outs := (z, m) :: !outs) (Cache.quorum_sx cfg.qh ~s ~x:w))
-        (Cache.quorum_xr cfg.qj ~x:src ~r);
-      !outs
-    end
+      Hashtbl.add labels rid ();
+      let id = st.ctx.Fba_sim.Ctx.id in
+      let s = Intern.string cfg.intern sid in
+      if Cache.mem_sid cfg.qh ~sid ~s ~x:src ~y:id then begin
+        (* Algorithm 2, first handler: fan the request out to the pull
+           quorums of every poll-list member. The historical code consed
+           (w ascending, z ascending) and returned the reversed list, so
+           we emit w descending, z descending — the same wire order. *)
+        mark cfg st "fw1";
+        let r = Intern.label cfg.intern rid in
+        let qj = Cache.quorum_rid cfg.qj ~x:src ~rid ~r in
+        for wi = Array.length qj - 1 downto 0 do
+          let w = qj.(wi) in
+          let m = Packed.fw1 ~sid ~rid ~x:src ~w in
+          let zq = Cache.quorum_sid cfg.qh ~sid ~s ~x:w in
+          for zi = Array.length zq - 1 downto 0 do
+            emit zq.(zi) m
+          done
+        done
+      end
     end
   end
 
-and handle_fw1 cfg st ~src ~x s r w =
-  if s <> st.belief then defer cfg st ~src (Msg.Fw1 { x; s; r; w })
+and handle_fw1 cfg st ~emit ~src p =
+  let sid = Packed.sid p in
+  if sid <> st.belief then defer cfg st ~src p
   else begin
+    let rid = Packed.rid p and x = Packed.x p and w = Packed.w p in
     let id = st.ctx.Fba_sim.Ctx.id in
+    let s = Intern.string cfg.intern sid in
     if
-      Cache.mem_sx cfg.qh ~s ~x:w ~y:id
-      && Cache.mem_sx cfg.qh ~s ~x ~y:src
-      && Cache.mem_xr cfg.qj ~x ~r ~y:w
+      Cache.mem_sid cfg.qh ~sid ~s ~x:w ~y:id
+      && Cache.mem_sid cfg.qh ~sid ~s ~x ~y:src
+      && Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:w
     then begin
       let rc =
-        match Hashtbl.find_opt st.fw1 (s, x) with
-        | Some rc -> rc
-        | None ->
+        match Hashtbl.find st.fw1 (key_sx ~sid ~x) with
+        | rc -> rc
+        | exception Not_found ->
           let rc = { f1_senders = set (); f1_targets = Hashtbl.create 8; f1_served = set () } in
-          Hashtbl.add st.fw1 (s, x) rc;
+          Hashtbl.add st.fw1 (key_sx ~sid ~x) rc;
           rc
       in
-      if not (Hashtbl.mem rc.f1_targets w) then Hashtbl.add rc.f1_targets w r;
+      if not (Hashtbl.mem rc.f1_targets w) then Hashtbl.add rc.f1_targets w rid;
       let newly = set_add rc.f1_senders src in
       let c = set_card rc.f1_senders in
       let maj = Params.majority_h cfg.params in
-      let serve w r acc =
-        if set_add rc.f1_served w then (w, Msg.Fw2 { x; s; r }) :: acc else acc
-      in
       if c >= maj then begin
         mark cfg st "fw2";
-        if newly && c = maj then
-          (* Majority just reached: serve every verified target once. *)
-          Hashtbl.fold serve rc.f1_targets []
-        else serve w r []
+        if newly && c = maj then begin
+          (* Majority just reached: serve every verified target once.
+             The historical Hashtbl.fold consed as it visited, so the
+             wire order is the reverse of visit order — collect into
+             the scratch lanes, then emit back-to-front. *)
+          Vec.clear st.scratch_w;
+          Vec.clear st.scratch_rid;
+          Hashtbl.iter
+            (fun w rid ->
+              if set_add rc.f1_served w then begin
+                Vec.push st.scratch_w w;
+                Vec.push st.scratch_rid rid
+              end)
+            rc.f1_targets;
+          for i = Vec.length st.scratch_w - 1 downto 0 do
+            emit (Vec.get st.scratch_w i) (Packed.fw2 ~sid ~rid:(Vec.get st.scratch_rid i) ~x)
+          done
+        end
+        else if set_add rc.f1_served w then emit w (Packed.fw2 ~sid ~rid ~x)
       end
-      else []
     end
-    else []
   end
 
-and handle_fw2 cfg st ~src ~x s r =
-  if s <> st.belief then defer cfg st ~src (Msg.Fw2 { x; s; r })
+and handle_fw2 cfg st ~emit ~src p =
+  let sid = Packed.sid p in
+  if sid <> st.belief then defer cfg st ~src p
   else begin
+    let rid = Packed.rid p and x = Packed.x p in
     let id = st.ctx.Fba_sim.Ctx.id in
-    if Cache.mem_xr cfg.qj ~x ~r ~y:id && Cache.mem_sx cfg.qh ~s ~x:id ~y:src then begin
-      let zs = counter_of st.fw2 (s, x) in
-      if set_add zs src then try_answer cfg st s x else []
+    if
+      Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:id
+      && Cache.mem_sid cfg.qh ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src
+    then begin
+      let zs = counter_of st.fw2 (key_sx ~sid ~x) in
+      if set_add zs src then try_answer cfg st ~emit sid x
     end
-    else []
   end
 
-and handle_answer cfg st ~src s =
-  if st.decided <> None then []
+and handle_answer cfg st ~emit ~src sid =
+  if st.decided_sid >= 0 then ()
   else begin
-    match Hashtbl.find_opt st.polls s with
-    | None -> []
-    | Some p ->
+    match Hashtbl.find st.polls sid with
+    | exception Not_found -> ()
+    | p ->
       let id = st.ctx.Fba_sim.Ctx.id in
-      if not (Cache.mem_xr cfg.qj ~x:id ~r:p.p_r ~y:src) then []
-      else if set_add p.p_answers src && set_card p.p_answers >= Params.majority_j cfg.params
-      then decide cfg st s
-      else []
+      if
+        Cache.mem_rid cfg.qj ~x:id ~rid:p.p_rid ~r:(Intern.label cfg.intern p.p_rid) ~y:src
+        && set_add p.p_answers src
+        && set_card p.p_answers >= Params.majority_j cfg.params
+      then decide cfg st ~emit sid
   end
 
 (* Decision: fix the belief, then replay buffered traffic that now
-   matches it and release answers the overload filter was holding. *)
-and decide cfg st s =
-  st.decided <- Some s;
-  st.belief <- s;
-  let backlog = List.rev st.deferred in
-  st.deferred <- [];
-  let muted = List.rev st.muted in
-  st.muted <- [];
-  let outs = ref [] in
-  List.iter
-    (fun (src, m) ->
-      match m with
-      | Msg.Pull { s = s'; _ } | Msg.Fw1 { s = s'; _ } | Msg.Fw2 { s = s'; _ } when s' <> s ->
-        ()
-      | _ -> outs := dispatch cfg st ~src m :: !outs)
-    backlog;
-  List.iter (fun (s', x) -> if s' = s then outs := try_answer cfg st s' x :: !outs) muted;
-  List.concat (List.rev !outs)
+   matches it and release answers the overload filter was holding.
+   Handlers cannot append to either backlog once decided_sid is set, so
+   iterating the live lanes (chronological order) is a snapshot. *)
+and decide cfg st ~emit sid =
+  st.decided_sid <- sid;
+  st.belief <- sid;
+  for i = 0 to Vec.length st.deferred_msg - 1 do
+    let m = Vec.get st.deferred_msg i in
+    (* Only Pull/Fw1/Fw2 are ever deferred; replay the ones matching
+       the decided string, drop the rest. *)
+    if Packed.sid m = sid then dispatch cfg st ~emit ~src:(Vec.get st.deferred_src i) m
+  done;
+  Vec.clear st.deferred_src;
+  Vec.clear st.deferred_msg;
+  for i = 0 to Vec.length st.muted - 1 do
+    let k = Vec.get st.muted i in
+    if k lsr 13 = sid then try_answer cfg st ~emit sid (k land 0x1FFF)
+  done;
+  Vec.clear st.muted
 
 and defer cfg st ~src m =
   (* DESIGN.md substitution 6: the paper's pseudo-code drops these;
      buffering + replay is equivalent under asynchrony and avoids
      starving late deciders under a synchronous schedule. strict_drop
      restores the literal behaviour for the ablation. *)
-  if (not cfg.strict_drop) && st.decided = None then st.deferred <- (src, m) :: st.deferred;
-  []
+  if (not cfg.strict_drop) && st.decided_sid < 0 then begin
+    Vec.push st.deferred_src src;
+    Vec.push st.deferred_msg m
+  end
 
-and dispatch cfg st ~src m =
-  match m with
-  | Msg.Push s -> handle_push cfg st ~src s
-  | Msg.Poll { s; r } -> handle_poll cfg st ~src s r
-  | Msg.Pull { s; r } -> handle_pull cfg st ~src s r
-  | Msg.Fw1 { x; s; r; w } -> handle_fw1 cfg st ~src ~x s r w
-  | Msg.Fw2 { x; s; r } -> handle_fw2 cfg st ~src ~x s r
-  | Msg.Answer s -> handle_answer cfg st ~src s
+and dispatch cfg st ~emit ~src p =
+  let tag = Packed.tag p in
+  if tag = Packed.tag_push then handle_push cfg st ~emit ~src (Packed.sid p)
+  else if tag = Packed.tag_poll then handle_poll cfg st ~emit ~src p
+  else if tag = Packed.tag_pull then handle_pull cfg st ~emit ~src p
+  else if tag = Packed.tag_fw1 then handle_fw1 cfg st ~emit ~src p
+  else if tag = Packed.tag_fw2 then handle_fw2 cfg st ~emit ~src p
+  else if tag = Packed.tag_answer then handle_answer cfg st ~emit ~src (Packed.sid p)
+  else invalid_arg "Aer: invalid packed message"
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in
   let s0 = cfg.scenario.Scenario.initial.(id) in
+  let sid0 = Intern.intern cfg.intern s0 in
   let st =
     {
       ctx;
+      intern = cfg.intern;
       cur_round = 0;
-      belief = s0;
-      decided = None;
+      belief = sid0;
+      decided_sid = -1;
       candidates = Hashtbl.create 8;
       push_senders = Hashtbl.create 8;
       polls = Hashtbl.create 8;
@@ -335,21 +389,27 @@ let init cfg ctx =
       polled = Hashtbl.create 32;
       answer_counts = Hashtbl.create 8;
       answered = Hashtbl.create 32;
-      muted = [];
-      deferred = [];
+      muted = Vec.create ();
+      deferred_src = Vec.create ();
+      deferred_msg = Vec.create ();
+      scratch_w = Vec.create ();
+      scratch_rid = Vec.create ();
       push_sent = 0;
       answers_emitted = 0;
     }
   in
-  Hashtbl.add st.candidates s0 ();
+  Hashtbl.add st.candidates sid0 ();
   mark cfg st "push";
-  let push_msg = Msg.Push s0 in
-  let pushes =
-    Array.to_list
-      (Array.map (fun x -> (x, push_msg)) (Push_plan.targets cfg.plan ~s:s0 ~y:id))
-  in
-  st.push_sent <- List.length pushes;
-  (st, pushes @ issue_poll cfg st s0)
+  let acc = ref [] in
+  let emit dst m = acc := (dst, m) :: !acc in
+  let push_msg = Packed.push ~sid:sid0 in
+  let targets = Push_plan.targets cfg.plan ~s:s0 ~y:id in
+  for i = 0 to Array.length targets - 1 do
+    emit targets.(i) push_msg
+  done;
+  st.push_sent <- Array.length targets;
+  issue_poll cfg st ~emit sid0;
+  (st, List.rev !acc)
 
 (* The re-poll extension: a candidate whose poll went unanswered for
    repoll_timeout rounds retries with a fresh label, up to
@@ -357,33 +417,48 @@ let init cfg ctx =
    inert and the protocol is exactly the paper's. *)
 let on_round cfg st ~round =
   st.cur_round <- round;
-  if st.decided <> None || cfg.params.Params.max_poll_attempts <= 1 then []
+  if st.decided_sid >= 0 || cfg.params.Params.max_poll_attempts <= 1 then []
   else begin
     let due = ref [] in
     Hashtbl.iter
-      (fun s (p : poll) ->
+      (fun sid (p : poll) ->
         if
           p.p_attempts < cfg.params.Params.max_poll_attempts
           && round - p.p_issued >= cfg.params.Params.repoll_timeout
-        then due := s :: !due)
+        then due := sid :: !due)
       st.polls;
-    List.concat_map (fun s -> issue_poll ~round cfg st s) !due
+    let acc = ref [] in
+    let emit dst m = acc := (dst, m) :: !acc in
+    List.iter (fun sid -> issue_poll ~round cfg st ~emit sid) !due;
+    List.rev !acc
   end
 
-let on_receive cfg st ~round ~src m =
+(* The engines' hot entry point: dispatch straight into the handlers,
+   pushing outgoing messages through the engine's [emit] — no list, no
+   tuples, no envelope. *)
+let receive_into_impl cfg st ~round ~src m ~emit =
   st.cur_round <- round;
-  dispatch cfg st ~src m
+  dispatch cfg st ~emit ~src m
 
-let output st = st.decided
+let receive_into = Some receive_into_impl
 
-let msg_bits cfg m = Msg.bits cfg.params m
+(* List-returning compatibility shim over the same handlers (unit
+   tests drive it directly; engines use [receive_into]). *)
+let on_receive cfg st ~round ~src m =
+  let acc = ref [] in
+  receive_into_impl cfg st ~round ~src m ~emit:(fun dst m -> acc := (dst, m) :: !acc);
+  List.rev !acc
 
-let pp_msg = Msg.pp
+let output st = if st.decided_sid < 0 then None else Some (Intern.string st.intern st.decided_sid)
 
-let belief st = st.belief
-let decided st = st.decided
-let candidates st = Hashtbl.fold (fun s () acc -> s :: acc) st.candidates []
+let msg_bits cfg m = Packed.bits cfg.params cfg.intern m
+
+let pp_msg (cfg : config) = Packed.pp cfg.intern
+
+let belief st = Intern.string st.intern st.belief
+let decided st = output st
+let candidates st = Hashtbl.fold (fun sid () acc -> Intern.string st.intern sid :: acc) st.candidates []
 let candidate_count st = Hashtbl.length st.candidates
 let push_messages_sent st = st.push_sent
-let deferred_count st = List.length st.deferred
+let deferred_count st = Vec.length st.deferred_msg
 let answers_sent st = st.answers_emitted

@@ -42,7 +42,23 @@ val config_of_scenario : ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> Sce
 val config_params : config -> Params.t
 val config_scenario : config -> Scenario.t
 
-include Fba_sim.Protocol.S with type config := config and type msg = Msg.t
+val config_intern : config -> Intern.t
+(** The scenario's interner — the same value as
+    [(config_scenario cfg).intern]; adversaries and tests use it to
+    pack messages for injection. *)
+
+include Fba_sim.Protocol.S with type config := config and type msg = Msg.Packed.t
+(** Messages are packed immediates ({!Msg.Packed}): handlers run
+    entirely on int words and emit through [receive_into] without
+    allocating. [on_receive] remains as a list-returning shim over the
+    same handlers. *)
+
+val pack : config -> Msg.t -> msg
+(** Pack a variant message onto the wire plane, interning its payloads
+    in the run's interner. *)
+
+val unpack : config -> msg -> Msg.t
+(** Exact inverse of {!pack}. *)
 
 val phase_of_kind : string -> string
 (** Map a message kind (first token of {!Msg.pp}) onto the protocol

@@ -49,7 +49,7 @@ val run_phase1 :
 val run_sync :
   ?mode:Fba_sim.Sync_engine.mode ->
   ?aeba_adversary:(Fba_stdx.Bitset.t -> Fba_aeba.Aeba.msg Fba_sim.Sync_engine.adversary) ->
-  ?aer_adversary:(Scenario.t -> Msg.t Fba_sim.Sync_engine.adversary) ->
+  ?aer_adversary:(Scenario.t -> Aer.msg Fba_sim.Sync_engine.adversary) ->
   ?per_run_miss:float ->
   ?events:Fba_sim.Events.sink ->
   n:int ->

@@ -1,0 +1,52 @@
+open Fba_stdx
+
+(* Capacity limits come from the packed message layout (Msg.Packed):
+   string ids ride in a 13-bit field, label ids in a 20-bit field. *)
+let max_strings = 1 lsl 13
+let max_labels = 1 lsl 20
+
+type t = {
+  by_string : (string, int) Hashtbl.t;
+  strings : string Vec.t;
+  by_label : int I64_table.t;
+  labels : int64 Vec.t;
+}
+
+let create () =
+  {
+    by_string = Hashtbl.create 64;
+    strings = Vec.create ();
+    by_label = I64_table.create ();
+    labels = Vec.create ();
+  }
+
+let string_count t = Vec.length t.strings
+let label_count t = Vec.length t.labels
+
+let intern t s =
+  match Hashtbl.find t.by_string s with
+  | sid -> sid
+  | exception Not_found ->
+    let sid = Vec.length t.strings in
+    if sid >= max_strings then
+      failwith "Intern.intern: string table full (packed sid field is 13 bits)";
+    Hashtbl.add t.by_string s sid;
+    Vec.push t.strings s;
+    sid
+
+let find t s = match Hashtbl.find t.by_string s with sid -> sid | exception Not_found -> -1
+
+let string t sid = Vec.get t.strings sid
+
+let intern_label t r =
+  match I64_table.get t.by_label r with
+  | rid -> rid
+  | exception Not_found ->
+    let rid = Vec.length t.labels in
+    if rid >= max_labels then
+      failwith "Intern.intern_label: label table full (packed rid field is 20 bits)";
+    I64_table.set t.by_label r rid;
+    Vec.push t.labels r;
+    rid
+
+let label t rid = Vec.get t.labels rid

@@ -1,0 +1,43 @@
+(** Per-run interning of candidate strings and poll labels.
+
+    The packed message plane ({!Msg.Packed}) carries small integer ids
+    instead of heap payloads: every candidate string and every 64-bit
+    poll label a run touches is registered here exactly once, in a
+    deterministic (single-threaded) order, and resolved back when a
+    human-readable rendering or a sampler draw needs the raw value.
+
+    An interner belongs to one {!Scenario.t} (multicore sweeps build
+    one scenario — hence one interner — per grid cell, so no table is
+    ever shared across domains). Registration is idempotent: replaying
+    the same run against a warm interner reassigns identical ids. *)
+
+type t
+
+val create : unit -> t
+
+val max_strings : int
+(** 2¹³ — the packed sid field width. *)
+
+val max_labels : int
+(** 2²⁰ — the packed rid field width. *)
+
+val intern : t -> string -> int
+(** Id of the string, registering it first if unseen. Raises [Failure]
+    beyond {!max_strings} distinct strings. *)
+
+val find : t -> string -> int
+(** Id of the string, or [-1] if it was never registered. *)
+
+val string : t -> int -> string
+(** Inverse of {!intern}; the returned string is shared, not copied. *)
+
+val string_count : t -> int
+
+val intern_label : t -> int64 -> int
+(** Id of the label, registering it first if unseen. Raises [Failure]
+    beyond {!max_labels} distinct labels. *)
+
+val label : t -> int -> int64
+(** Inverse of {!intern_label}; the returned box is shared. *)
+
+val label_count : t -> int

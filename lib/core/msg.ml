@@ -30,3 +30,94 @@ let pp fmt = function
   | Fw1 { x; s; r; w } -> Format.fprintf fmt "Fw1(x=%d, %a, %Ld, w=%d)" x pp_hex s r w
   | Fw2 { x; s; r } -> Format.fprintf fmt "Fw2(x=%d, %a, %Ld)" x pp_hex s r
   | Answer s -> Format.fprintf fmt "Answer(%a)" pp_hex s
+
+type msg = t
+
+(* The packed twin: one OCaml immediate per message, so mailboxes and
+   calendar buckets hold unboxed ints and enqueue/deliver never touch
+   the heap. Strings and labels are replaced by {!Intern} ids; the
+   layout (LSB first)
+
+     tag:3 | sid:13 | rid:20 | x:13 | w:13   = 62 bits
+
+   fits a 63-bit immediate. Field widths bound a run at n <= 8192
+   identities, 2^13 distinct strings and 2^20 distinct labels — all
+   checked at pack time. Tag 0 is deliberately invalid so an
+   uninitialized slot can never decode. *)
+module Packed = struct
+  type t = int
+
+  let tag_push = 1
+  let tag_poll = 2
+  let tag_pull = 3
+  let tag_fw1 = 4
+  let tag_fw2 = 5
+  let tag_answer = 6
+
+  let tag p = p land 7
+  let sid p = (p lsr 3) land 0x1FFF
+  let rid p = (p lsr 16) land 0xFFFFF
+  let x p = (p lsr 36) land 0x1FFF
+  let w p = (p lsr 49) land 0x1FFF
+
+  let check_sid v = if v lsr 13 <> 0 then invalid_arg "Msg.Packed: sid out of range" else v
+  let check_rid v = if v lsr 20 <> 0 then invalid_arg "Msg.Packed: rid out of range" else v
+  let check_id name v =
+    if v lsr 13 <> 0 then invalid_arg ("Msg.Packed: " ^ name ^ " out of range") else v
+
+  let push ~sid = tag_push lor (check_sid sid lsl 3)
+  let poll ~sid ~rid = tag_poll lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
+  let pull ~sid ~rid = tag_pull lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
+
+  let fw1 ~sid ~rid ~x ~w =
+    tag_fw1 lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
+    lor (check_id "x" x lsl 36)
+    lor (check_id "w" w lsl 49)
+
+  let fw2 ~sid ~rid ~x =
+    tag_fw2 lor (check_sid sid lsl 3) lor (check_rid rid lsl 16) lor (check_id "x" x lsl 36)
+
+  let answer ~sid = tag_answer lor (check_sid sid lsl 3)
+
+  let pack intern m =
+    match m with
+    | Push s -> push ~sid:(Intern.intern intern s)
+    | Poll { s; r } -> poll ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
+    | Pull { s; r } -> pull ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
+    | Fw1 { x; s; r; w } ->
+      fw1 ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x ~w
+    | Fw2 { x; s; r } ->
+      fw2 ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x
+    | Answer s -> answer ~sid:(Intern.intern intern s)
+
+  let unpack intern p =
+    let s () = Intern.string intern (sid p) in
+    let r () = Intern.label intern (rid p) in
+    match tag p with
+    | 1 -> Push (s ())
+    | 2 -> Poll { s = s (); r = r () }
+    | 3 -> Pull { s = s (); r = r () }
+    | 4 -> Fw1 { x = x p; s = s (); r = r (); w = w p }
+    | 5 -> Fw2 { x = x p; s = s (); r = r () }
+    | 6 -> Answer (s ())
+    | _ -> invalid_arg "Msg.Packed.unpack: invalid tag"
+
+  (* Same accounting as [bits] above, reading field presence off the
+     tag instead of the constructor — kept in exact agreement (the
+     packed-codec qcheck property pins this). *)
+  let bits params intern p =
+    let id = Params.id_bits params in
+    let header = 8 + (2 * id) in
+    let str = 8 * String.length (Intern.string intern (sid p)) in
+    let payload =
+      match tag p with
+      | 1 | 6 -> str
+      | 2 | 3 -> str + Params.label_bits
+      | 4 -> str + Params.label_bits + (2 * id)
+      | 5 -> str + Params.label_bits + id
+      | _ -> invalid_arg "Msg.Packed.bits: invalid tag"
+    in
+    header + payload
+
+  let pp intern fmt p = pp fmt (unpack intern p)
+end

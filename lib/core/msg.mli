@@ -26,3 +26,51 @@ val bits : Params.t -> t -> int
     byte, labels {!Params.label_bits}, embedded identities ⌈log₂ n⌉). *)
 
 val pp : Format.formatter -> t -> unit
+
+type msg = t
+(** Alias so {!Packed} (whose own [t] is [int]) can name the variant. *)
+
+(** The packed twin: one message as one OCaml immediate int, with
+    strings and labels replaced by {!Intern} ids. Layout (LSB first):
+    [tag:3 | sid:13 | rid:20 | x:13 | w:13] — 62 bits. The codec to
+    and from the variant is exact, and {!Packed.bits} agrees with
+    {!bits} on every message, so wire accounting is unchanged on the
+    packed plane. Field widths bound a run at n ≤ 8192. *)
+module Packed : sig
+  type t = int
+
+  val tag_push : int
+  val tag_poll : int
+  val tag_pull : int
+  val tag_fw1 : int
+  val tag_fw2 : int
+  val tag_answer : int
+
+  val tag : t -> int
+  val sid : t -> int
+  val rid : t -> int
+  val x : t -> int
+  val w : t -> int
+
+  val push : sid:int -> t
+  val poll : sid:int -> rid:int -> t
+  val pull : sid:int -> rid:int -> t
+  val fw1 : sid:int -> rid:int -> x:int -> w:int -> t
+  val fw2 : sid:int -> rid:int -> x:int -> t
+  val answer : sid:int -> t
+  (** Direct constructors; raise [Invalid_argument] on a field that
+      does not fit its packed width. *)
+
+  val pack : Intern.t -> msg -> t
+  (** Intern the payloads and pack. *)
+
+  val unpack : Intern.t -> t -> msg
+  (** Exact inverse of {!pack} (for interned ids that exist). *)
+
+  val bits : Params.t -> Intern.t -> t -> int
+  (** Equals [bits params (unpack intern p)] without unpacking. *)
+
+  val pp : Intern.t -> Format.formatter -> t -> unit
+  (** Renders exactly as {!pp} renders the unpacked message. *)
+end
+

@@ -8,7 +8,17 @@ type t = {
   corrupted : Bitset.t;
   knowledgeable : Bitset.t;
   initial : string array;
+  intern : Intern.t;
 }
+
+(* Packed messages need every payload registered: seed the interner
+   with gstring and the initial candidates in a fixed order, so ids
+   are stable regardless of which node or adversary packs first. *)
+let intern_of ~gstring ~initial =
+  let intern = Intern.create () in
+  ignore (Intern.intern intern gstring);
+  Array.iter (fun s -> ignore (Intern.intern intern s)) initial;
+  intern
 
 let random_string rng bits = Bytes.unsafe_to_string (Prng.bits rng bits)
 
@@ -71,7 +81,7 @@ let make ?(junk = Junk_unique) ?gstring ~(params : Params.t) ~rng ~byzantine_fra
             s
         end)
   in
-  { params; gstring; corrupted; knowledgeable; initial }
+  { params; gstring; corrupted; knowledgeable; initial; intern = intern_of ~gstring ~initial }
 
 let of_assignment ~params ~gstring ~corrupted ~initial =
   let n = params.Params.n in
@@ -84,7 +94,7 @@ let of_assignment ~params ~gstring ~corrupted ~initial =
     if (not (Bitset.mem corrupted id)) && initial.(id) = gstring then
       Bitset.add knowledgeable id
   done;
-  { params; gstring; corrupted; knowledgeable; initial }
+  { params; gstring; corrupted; knowledgeable; initial; intern = intern_of ~gstring ~initial }
 
 let knowledgeable_fraction t =
   float_of_int (Bitset.cardinal t.knowledgeable) /. float_of_int Params.(t.params.n)

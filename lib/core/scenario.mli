@@ -22,6 +22,10 @@ type t = private {
   corrupted : Bitset.t;
   knowledgeable : Bitset.t;  (** correct nodes holding gstring initially *)
   initial : string array;  (** initial candidate of every node *)
+  intern : Intern.t;
+      (** the run's string/label interner, pre-seeded with [gstring]
+          and every initial candidate (in index order) so packed ids
+          are stable *)
 }
 
 val make :

@@ -139,7 +139,9 @@ let msg_bits cfg m =
   let header = 8 + (2 * id_bits) in
   match m with Exchange _ | Deliver _ -> header + cfg.str_bits
 
-let pp_msg fmt = function
+let receive_into = None
+
+let pp_msg _cfg fmt = function
   | Exchange _ -> Format.fprintf fmt "Exchange"
   | Deliver _ -> Format.fprintf fmt "Deliver"
 

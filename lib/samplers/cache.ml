@@ -26,7 +26,18 @@ type t = {
   mutable flat_xr : int array;
   mutable flat_count : int;
   xr_off : int I64_table.t;
+  (* Interned-id mirrors of the two key spaces. [by_sid] indexes the
+     same dense rows by string id — a lookup is two array loads, no
+     string hashing at all; [xr_rid] keys J-quorums by the immediate
+     [(x lsl 20) lor rid], avoiding the boxed-int64 arithmetic of
+     [key_xr] on every membership test. Both caches share the quorum
+     arrays with their string/int64 twins, so answers are identical
+     whichever keying a caller uses. *)
+  mutable by_sid : int array array array;
+  xr_rid : (int, int array) Hashtbl.t;
 }
+
+let no_row : int array array = [||]
 
 let create sampler =
   {
@@ -37,6 +48,8 @@ let create sampler =
     flat_xr = [||];
     flat_count = 0;
     xr_off = I64_table.create ();
+    by_sid = [||];
+    xr_rid = Hashtbl.create 64;
   }
 
 let sampler t = t.sampler
@@ -85,6 +98,49 @@ let mem_array a y = mem_scan a y 0 (Array.length a)
    the same key many times, so one O(d)-hash evaluation up front beats
    repeated early-exit draws. The scan itself early-exits on [y]. *)
 let mem_sx t ~s ~x ~y = mem_array (quorum_sx t ~s ~x) y
+
+(* --- Interned-id keying. The sid table points at the very same rows
+   the string table uses ([row t s] on first touch), so the two views
+   can never disagree; [s] is only read on a cold sid. --- *)
+
+let row_sid t ~sid ~s =
+  if sid >= Array.length t.by_sid then begin
+    let grown = Array.make (max (sid + 1) (2 * Array.length t.by_sid)) no_row in
+    Array.blit t.by_sid 0 grown 0 (Array.length t.by_sid);
+    t.by_sid <- grown
+  end;
+  let r = t.by_sid.(sid) in
+  if r != no_row then r
+  else begin
+    let r = row t s in
+    t.by_sid.(sid) <- r;
+    r
+  end
+
+let quorum_sid t ~sid ~s ~x =
+  let row = row_sid t ~sid ~s in
+  let q = row.(x) in
+  if q != unset then q
+  else begin
+    let q = Sampler.quorum_sx t.sampler ~s ~x in
+    row.(x) <- q;
+    q
+  end
+
+let mem_sid t ~sid ~s ~x ~y = mem_array (quorum_sid t ~sid ~s ~x) y
+
+let key_rid ~x ~rid = (x lsl 20) lor rid
+
+let quorum_rid t ~x ~rid ~r =
+  let key = key_rid ~x ~rid in
+  match Hashtbl.find t.xr_rid key with
+  | q -> q
+  | exception Not_found ->
+    let q = quorum_xr t ~x ~r in
+    Hashtbl.add t.xr_rid key q;
+    q
+
+let mem_rid t ~x ~rid ~r ~y = mem_array (quorum_rid t ~x ~rid ~r) y
 
 let mem_flat t off ~y = mem_scan t.flat_xr y off (off + Sampler.d t.sampler)
 

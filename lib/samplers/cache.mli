@@ -32,6 +32,28 @@ val quorum_xr : t -> x:int -> r:int64 -> int array
 
 val mem_xr : t -> x:int -> r:int64 -> y:int -> bool
 
+(** {2 Interned-id keying}
+
+    The packed message plane addresses strings and labels by {!Fba_core.Intern}
+    ids. These entry points key the same caches by those immediates —
+    [sid] lookups are two array loads (no string hashing), [(x, rid)]
+    lookups probe an int-keyed table (no boxed int64 arithmetic). The
+    raw [s]/[r] is consulted only on a cold key, to draw the quorum;
+    results are shared with (and identical to) the string/int64 API. *)
+
+val quorum_sid : t -> sid:int -> s:string -> x:int -> int array
+(** Cached quorum for the string whose interned id is [sid]; [s] must
+    be that string (read only on first touch of the id). *)
+
+val mem_sid : t -> sid:int -> s:string -> x:int -> y:int -> bool
+
+val quorum_rid : t -> x:int -> rid:int -> r:int64 -> int array
+(** Cached J-quorum keyed by [(x, rid)]; [r] must be the label whose
+    interned id is [rid] (read only on a cold key). Requires
+    [x < 2^13] (the packed identity width). *)
+
+val mem_rid : t -> x:int -> rid:int -> r:int64 -> y:int -> bool
+
 val precompute_xr : t -> (int * int64) list -> unit
 (** Materialize the poll lists J(x, r) for every listed (x, r) into the
     flat store, one O(d)-hash draw each; pairs already evaluated are

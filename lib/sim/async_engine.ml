@@ -6,10 +6,10 @@
     standard normalization: the adversary assigns each message an
     integer delay in [\[1, max_delay\]]; dividing the completion time by
     [max_delay] gives the asynchronous round count that Lemma 6 and
-    Lemma 10 refer to. The adversary has full information (it observes
-    every send at the moment it happens — strictly stronger than
-    rushing) and may inject messages from corrupted identities at any
-    time step.
+    Lemma 10 refer to. The adversary has full information (its
+    [observe] hook sees every send, field by field, at the moment it
+    happens — strictly stronger than rushing) and may inject messages
+    from corrupted identities at any time step.
 
     The [?net] network-condition layer ({!Net}) defaults to [Reliable]
     (the paper's model, bit-identical to the goldens); off-model runs
@@ -25,8 +25,8 @@ open Fba_stdx
 type 'msg adversary = 'msg Engine_core.async_adversary = {
   corrupted : Bitset.t;
   max_delay : int;
-  delay : time:int -> 'msg Envelope.t -> int;
-  observe : time:int -> 'msg Envelope.t list -> unit;
+  delay : time:int -> src:int -> dst:int -> 'msg -> int;
+  observe : time:int -> src:int -> dst:int -> 'msg -> unit;
   inject : time:int -> ('msg Envelope.t * int) list;
 }
 
@@ -64,48 +64,48 @@ module Make (P : Protocol.S) = struct
     (* Activity counters for quiescence detection. *)
     let sends_this_step = ref 0 in
     let delivered_this_step = ref 0 in
-    (* Send messages produced by a correct node at [time]. The network
-       jitter (0 under [Reliable]) stretches the delivery on top of the
-       adversary's choice. *)
-    let dispatch_correct ~time src out =
-      sends_this_step := !sends_this_step + List.length out;
-      let envs =
-        List.map
-          (fun (dst, msg) ->
-            if dst < 0 || dst >= n then invalid_arg "Async_engine: destination out of range";
-            Envelope.make ~src ~dst msg)
-          out
+    let time = ref 0 in
+    let cur_node = ref 0 in
+    (* Send one message from correct node [!cur_node] at [!time]: the
+       adversary observes it, chooses its delay, and the network jitter
+       (0 under [Reliable]) stretches the delivery on top. One shared
+       closure — the delivery loop allocates nothing per message. *)
+    let emit dst msg =
+      if dst < 0 || dst >= n then invalid_arg "Async_engine: destination out of range";
+      incr sends_this_step;
+      let t = !time and src = !cur_node in
+      Core.record_send core ~src ~dst msg;
+      adversary.observe ~time:t ~src ~dst msg;
+      let d =
+        clamp_delay (adversary.delay ~time:t ~src ~dst msg)
+        + Net.extra_delay core.net ~time:t ~src ~dst
       in
-      if envs <> [] then adversary.observe ~time envs;
-      List.iter
-        (fun (e : P.msg Envelope.t) ->
-          Core.record_send core e;
-          let d =
-            clamp_delay (adversary.delay ~time e)
-            + Net.extra_delay core.net ~time ~src:e.src ~dst:e.dst
-          in
-          Core.trace_msg core ~round:time ~byzantine:false ~delay:d e;
-          Engine_core.Calendar.schedule cal ~at:(time + d) e)
-        envs
+      Core.trace_msg core ~round:t ~byzantine:false ~delay:d ~src ~dst msg;
+      Engine_core.Calendar.schedule cal ~at:(t + d) ~src ~dst msg
+    in
+    let receive = Core.handler_of core ~emit in
+    let handle dst st ~src msg =
+      cur_node := dst;
+      receive st ~round:!time ~src msg
+    in
+    let emit_pair (dst, msg) = emit dst msg in
+    let dispatch_correct src out =
+      cur_node := src;
+      List.iter emit_pair out
     in
     let dispatch_byzantine ~time pairs =
       List.iter
         (fun ((e : P.msg Envelope.t), d) ->
           Engine_core.validate_adversary_envelope ~who:"Async_engine" ~n ~corrupted e;
-          Core.record_send core e;
-          let d =
-            clamp_delay d + Net.extra_delay core.net ~time ~src:e.src ~dst:e.dst
-          in
-          Core.trace_msg core ~round:time ~byzantine:true ~delay:d e;
-          Engine_core.Calendar.schedule cal ~at:(time + d) e)
+          Core.record_send core ~src:e.src ~dst:e.dst e.msg;
+          let d = clamp_delay d + Net.extra_delay core.net ~time ~src:e.src ~dst:e.dst in
+          Core.trace_msg core ~round:time ~byzantine:true ~delay:d ~src:e.src ~dst:e.dst e.msg;
+          Engine_core.Calendar.schedule cal ~at:(time + d) ~src:e.src ~dst:e.dst e.msg)
         pairs
     in
-    let time = ref 0 in
-    (* Hoisted so the delivery loop allocates no per-message closures. *)
-    let respond dst out = dispatch_correct ~time:!time dst out in
     (* Time 0: initialization. *)
     Core.trace_round_start core ~round:0;
-    Core.init_nodes core ~seed ~dispatch:(fun id out -> dispatch_correct ~time:0 id out);
+    Core.init_nodes core ~seed ~dispatch:dispatch_correct;
     dispatch_byzantine ~time:0 (adversary.inject ~time:0);
     Core.check_decisions core ~round:0;
     (* Round-driven protocols (committee trees, phase king, re-polling)
@@ -124,21 +124,21 @@ module Make (P : Protocol.S) = struct
       for id = 0 to n - 1 do
         match core.states.(id) with
         | None -> ()
-        | Some st -> dispatch_correct ~time:t id (P.on_round config st ~round:t)
+        | Some st -> dispatch_correct id (P.on_round config st ~round:t)
       done;
       (* Deliver everything scheduled for t, in schedule order. Sends
          triggered by these deliveries carry delay >= 1 < width, so they
          land in other buckets, never the one being drained. *)
       let bucket = Engine_core.Calendar.due cal ~time:t in
-      let due = Vec.length bucket in
+      let due = Batch.length bucket in
       if due > 0 then begin
         Engine_core.Calendar.consumed cal due;
         delivered_this_step := !delivered_this_step + due;
         for i = 0 to due - 1 do
-          let e : P.msg Envelope.t = Vec.get bucket i in
-          Core.deliver core ~round:t e ~respond
+          Core.deliver core ~round:t ~src:(Batch.src bucket i) ~dst:(Batch.dst bucket i)
+            (Batch.msg bucket i) ~handle
         done;
-        Vec.clear bucket
+        Batch.clear bucket
       end;
       dispatch_byzantine ~time:t (adversary.inject ~time:t);
       Core.check_decisions core ~round:t;

@@ -9,11 +9,12 @@ open Fba_stdx
 type 'msg adversary = 'msg Engine_core.async_adversary = {
   corrupted : Bitset.t;
   max_delay : int;  (** upper bound the engine enforces on [delay] *)
-  delay : time:int -> 'msg Envelope.t -> int;
+  delay : time:int -> src:int -> dst:int -> 'msg -> int;
       (** delivery delay for a correct node's message, clamped to
           [\[1, max_delay\]] *)
-  observe : time:int -> 'msg Envelope.t list -> unit;
-      (** full-information hook: all messages sent at [time] *)
+  observe : time:int -> src:int -> dst:int -> 'msg -> unit;
+      (** full-information hook: called for every message a correct
+          node sends, at the moment it is sent, in send order *)
   inject : time:int -> ('msg Envelope.t * int) list;
       (** messages from corrupted identities, each with its own delay *)
 }

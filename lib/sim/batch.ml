@@ -1,0 +1,55 @@
+open Fba_stdx
+
+(* A batch of in-flight messages as three parallel lanes instead of an
+   ['msg Envelope.t Vec.t]: pushing a message writes two ints and one
+   ['msg] into reusable buffers, so once the lanes are warm an enqueue
+   allocates nothing — and when ['msg] is an immediate (the packed
+   message plane) the whole batch lives outside the heap. Envelopes
+   are only materialized on demand, for the adversary-observation
+   interface. *)
+
+type 'msg t = { srcs : int Vec.t; dsts : int Vec.t; msgs : 'msg Vec.t }
+
+let create () = { srcs = Vec.create (); dsts = Vec.create (); msgs = Vec.create () }
+
+let length t = Vec.length t.msgs
+
+let is_empty t = Vec.is_empty t.msgs
+
+let push t ~src ~dst msg =
+  Vec.push t.srcs src;
+  Vec.push t.dsts dst;
+  Vec.push t.msgs msg
+
+let src t i = Vec.get t.srcs i
+let dst t i = Vec.get t.dsts i
+let msg t i = Vec.get t.msgs i
+
+let clear t =
+  Vec.clear t.srcs;
+  Vec.clear t.dsts;
+  Vec.clear t.msgs
+
+let swap a b =
+  Vec.swap a.srcs b.srcs;
+  Vec.swap a.dsts b.dsts;
+  Vec.swap a.msgs b.msgs
+
+let append dst src =
+  Vec.append dst.srcs src.srcs;
+  Vec.append dst.dsts src.dsts;
+  Vec.append dst.msgs src.msgs
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f ~src:(Vec.get t.srcs i) ~dst:(Vec.get t.dsts i) (Vec.get t.msgs i)
+  done
+
+let to_envelopes t =
+  let rec build i acc =
+    if i < 0 then acc
+    else
+      build (i - 1)
+        (Envelope.make ~src:(Vec.get t.srcs i) ~dst:(Vec.get t.dsts i) (Vec.get t.msgs i) :: acc)
+  in
+  build (length t - 1) []

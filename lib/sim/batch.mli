@@ -1,0 +1,39 @@
+(** In-flight messages as three parallel (src, dst, msg) lanes.
+
+    The engines' mailboxes and calendar buckets store messages here
+    instead of in ['msg Envelope.t Vec.t]: an enqueue writes into
+    reusable flat buffers (zero allocation once warm — and fully
+    unboxed when ['msg] is an immediate, as on the packed message
+    plane). {!to_envelopes} materializes real envelopes only when an
+    adversary actually asks to observe a batch. *)
+
+type 'msg t
+
+val create : unit -> 'msg t
+
+val length : 'msg t -> int
+
+val is_empty : 'msg t -> bool
+
+val push : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val src : 'msg t -> int -> int
+
+val dst : 'msg t -> int -> int
+
+val msg : 'msg t -> int -> 'msg
+
+val clear : 'msg t -> unit
+(** Constant-time; buffers are retained for reuse. *)
+
+val swap : 'msg t -> 'msg t -> unit
+(** Exchange the lanes of two batches (the double-buffering step). *)
+
+val append : 'msg t -> 'msg t -> unit
+(** [append dst src] pushes every element of [src] onto [dst]. *)
+
+val iter : (src:int -> dst:int -> 'msg -> unit) -> 'msg t -> unit
+
+val to_envelopes : 'msg t -> 'msg Envelope.t list
+(** Materialize the batch, in order — the lazy adversary-observation
+    path. Costs one envelope per element; hot loops never call it. *)

@@ -1,17 +1,23 @@
 open Fba_stdx
 
-(* --- Adversary records (shared between the two engines) --- *)
+(* --- Adversary records (shared between the two engines) ---
+
+   Observation is lazy: [observed]/[observe] hand the adversary a
+   thunk that materializes envelopes from the engine's flat lanes only
+   when called, so strategies that never look (or look once) cost
+   nothing per round. The thunk's result is valid only for the
+   duration of the call — the engine reuses the underlying buffers. *)
 
 type 'msg sync_adversary = {
   corrupted : Bitset.t;
-  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+  act : round:int -> observed:(unit -> 'msg Envelope.t list) -> 'msg Envelope.t list;
 }
 
 type 'msg async_adversary = {
   corrupted : Bitset.t;
   max_delay : int;
-  delay : time:int -> 'msg Envelope.t -> int;
-  observe : time:int -> 'msg Envelope.t list -> unit;
+  delay : time:int -> src:int -> dst:int -> 'msg -> int;
+  observe : time:int -> src:int -> dst:int -> 'msg -> unit;
   inject : time:int -> ('msg Envelope.t * int) list;
 }
 
@@ -21,8 +27,8 @@ let null_async_adversary ~corrupted =
   {
     corrupted;
     max_delay = 1;
-    delay = (fun ~time:_ _ -> 1);
-    observe = (fun ~time:_ _ -> ());
+    delay = (fun ~time:_ ~src:_ ~dst:_ _ -> 1);
+    observe = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     inject = (fun ~time:_ -> []);
   }
 
@@ -32,49 +38,57 @@ let validate_adversary_envelope ~who ~n ~(corrupted : Bitset.t) (e : _ Envelope.
   if not (Bitset.mem corrupted e.src) then
     invalid_arg (who ^ ": adversary may only send from corrupted identities")
 
-(* --- Sync mailboxes: flat growable buffers reused across rounds, so
-   the steady-state engine allocates only the envelopes themselves.
+(* --- Sync mailboxes: parallel (src, dst, msg) lanes reused across
+   rounds, so the steady-state engine allocates nothing per message.
    [correct_out] collects the current round's correct sends,
-   [in_flight] holds what the commit step staged for next round, and
+   [in_flight] holds what the commit step staged for next round,
    [deliveries] is the double buffer [in_flight] is swapped into at
-   delivery time. --- *)
+   delivery time, and [prev_correct] keeps the previous round's
+   correct sends alive for non-rushing adversaries. --- *)
 
 module Mailbox = struct
   type 'msg t = {
-    correct_out : 'msg Envelope.t Vec.t;
-    in_flight : 'msg Envelope.t Vec.t;
-    deliveries : 'msg Envelope.t Vec.t;
+    correct_out : 'msg Batch.t;
+    in_flight : 'msg Batch.t;
+    deliveries : 'msg Batch.t;
+    prev_correct : 'msg Batch.t;
   }
 
-  let create () = { correct_out = Vec.create (); in_flight = Vec.create (); deliveries = Vec.create () }
+  let create () =
+    {
+      correct_out = Batch.create ();
+      in_flight = Batch.create ();
+      deliveries = Batch.create ();
+      prev_correct = Batch.create ();
+    }
 
   (* Swap the staged mailbox into the delivery buffer so sends can
      refill [correct_out]/[in_flight] while the caller iterates. *)
   let stage_deliveries t =
-    Vec.swap t.deliveries t.in_flight;
-    Vec.clear t.in_flight
+    Batch.swap t.deliveries t.in_flight;
+    Batch.clear t.in_flight
 end
 
 (* --- Async calendar queue: every delay is clamped to [1, width - 1],
    so a message scheduled at time t lands strictly within the next
-   [width - 1] steps and a ring of [width] reusable Vec buckets indexed
-   by [at mod width] can never alias two distinct due times that are
-   both live. Scheduling is a push into a flat buffer — no hashing, no
-   list refs. --- *)
+   [width - 1] steps and a ring of [width] reusable lane buckets
+   indexed by [at mod width] can never alias two distinct due times
+   that are both live. Scheduling is a push into flat buffers — no
+   hashing, no list refs, no envelope. --- *)
 
 module Calendar = struct
   type 'msg t = {
     width : int;
-    buckets : 'msg Envelope.t Vec.t array;
+    buckets : 'msg Batch.t array;
     mutable pending : int;
   }
 
   let create ~max_delay =
-    { width = max_delay + 1; buckets = Array.init (max_delay + 1) (fun _ -> Vec.create ());
+    { width = max_delay + 1; buckets = Array.init (max_delay + 1) (fun _ -> Batch.create ());
       pending = 0 }
 
-  let schedule t ~at e =
-    Vec.push t.buckets.(at mod t.width) e;
+  let schedule t ~at ~src ~dst msg =
+    Batch.push t.buckets.(at mod t.width) ~src ~dst msg;
     t.pending <- t.pending + 1
 
   let due t ~time = t.buckets.(time mod t.width)
@@ -126,8 +140,8 @@ module Make (P : Protocol.S) = struct
       end
     done
 
-  let record_send t (e : P.msg Envelope.t) =
-    Metrics.record_send t.metrics ~src:e.src ~dst:e.dst ~bits:(P.msg_bits t.config e.msg)
+  let record_send t ~src ~dst msg =
+    Metrics.record_send t.metrics ~src ~dst ~bits:(P.msg_bits t.config msg)
 
   (* Every tracing site is guarded on [events] so a disabled run does
      no extra work (and no allocation) in the hot loops. *)
@@ -136,29 +150,21 @@ module Make (P : Protocol.S) = struct
     | None -> ()
     | Some k -> Events.emit k (Events.Round_start { round })
 
-  let trace_msg t ~round ~byzantine ~delay (e : P.msg Envelope.t) =
+  let trace_msg t ~round ~byzantine ~delay ~src ~dst msg =
     match t.events with
     | None -> ()
     | Some k ->
-      let kind = Events.kind_of_pp P.pp_msg e.Envelope.msg in
-      let bits = P.msg_bits t.config e.Envelope.msg in
-      if byzantine then
-        Events.emit k (Events.Inject { round; src = e.src; dst = e.dst; kind; bits; delay })
-      else Events.emit k (Events.Send { round; src = e.src; dst = e.dst; kind; bits; delay })
+      let kind = Events.kind_of_pp (P.pp_msg t.config) msg in
+      let bits = P.msg_bits t.config msg in
+      if byzantine then Events.emit k (Events.Inject { round; src; dst; kind; bits; delay })
+      else Events.emit k (Events.Send { round; src; dst; kind; bits; delay })
 
-  let trace_drop t ~round (e : P.msg Envelope.t) reason =
+  let trace_drop t ~round ~src ~dst msg reason =
     match t.events with
     | None -> ()
     | Some k ->
       Events.emit k
-        (Events.Drop
-           {
-             round;
-             src = e.src;
-             dst = e.dst;
-             kind = Events.kind_of_pp P.pp_msg e.msg;
-             reason;
-           })
+        (Events.Drop { round; src; dst; kind = Events.kind_of_pp (P.pp_msg t.config) msg; reason })
 
   let check_decision t ~round id =
     if t.outputs.(id) = None then begin
@@ -181,17 +187,26 @@ module Make (P : Protocol.S) = struct
       check_decision t ~round id
     done
 
+  (* The per-delivery protocol entry point: the allocation-free
+     [receive_into] when the protocol provides it, otherwise the
+     list-returning [on_receive] drained through [emit] (same order). *)
+  let handler_of t ~emit =
+    match P.receive_into with
+    | Some f -> fun st ~round ~src msg -> f t.config st ~round ~src msg ~emit
+    | None ->
+      fun st ~round ~src msg ->
+        List.iter (fun (d, m) -> emit d m) (P.on_receive t.config st ~round ~src msg)
+
   (* The shared delivery step: consult the network-condition layer
      (free under [Net.Reliable]), drop messages to Byzantine
      destinations (the adversary already saw them via its observation
-     hook), hand the rest to the protocol and the resulting sends to
-     the engine's [respond]. *)
-  let deliver t ~round (e : P.msg Envelope.t) ~respond =
-    match Net.verdict t.net ~round ~src:e.Envelope.src ~dst:e.dst with
-    | Net.Lose reason -> trace_drop t ~round e reason
+     hook), hand the rest to the protocol via [handle]. *)
+  let deliver t ~round ~src ~dst msg ~handle =
+    match Net.verdict t.net ~round ~src ~dst with
+    | Net.Lose reason -> trace_drop t ~round ~src ~dst msg reason
     | Net.Pass -> (
-      match t.states.(e.dst) with
-      | None -> trace_drop t ~round e "byzantine-dst"
+      match t.states.(dst) with
+      | None -> trace_drop t ~round ~src ~dst msg "byzantine-dst"
       | Some st ->
         (match t.events with
         | None -> ()
@@ -200,10 +215,10 @@ module Make (P : Protocol.S) = struct
             (Events.Deliver
                {
                  round;
-                 src = e.src;
-                 dst = e.dst;
-                 kind = Events.kind_of_pp P.pp_msg e.msg;
-                 bits = P.msg_bits t.config e.msg;
+                 src;
+                 dst;
+                 kind = Events.kind_of_pp (P.pp_msg t.config) msg;
+                 bits = P.msg_bits t.config msg;
                }));
-        respond e.dst (P.on_receive t.config st ~round ~src:e.src e.msg))
+        handle dst st ~src msg)
 end

@@ -3,10 +3,11 @@
     {!Sync_engine} and {!Async_engine} used to be near-duplicate loops;
     everything they book-keep identically lives here instead — the
     adversary records and their validation, the reusable mailbox /
-    calendar-queue storage, and a per-run state ({!Make.t}) carrying
-    node states, metrics, decision tracking, the optional {!Events}
-    sink and the instantiated {!Net} layer. The engines keep only what
-    genuinely differs: the synchronous round structure vs the
+    calendar-queue storage ({!Batch} lanes, so the steady-state engines
+    allocate nothing per message), and a per-run state ({!Make.t})
+    carrying node states, metrics, decision tracking, the optional
+    {!Events} sink and the instantiated {!Net} layer. The engines keep
+    only what genuinely differs: the synchronous round structure vs the
     adversary-scheduled calendar. *)
 
 open Fba_stdx
@@ -14,25 +15,30 @@ open Fba_stdx
 (** {1 Adversaries}
 
     The engines re-export these as [Sync_engine.adversary] /
-    [Async_engine.adversary]; use those aliases in protocol code. *)
+    [Async_engine.adversary]; use those aliases in protocol code.
+    Observation is lazy: the engine hands over thunks that materialize
+    envelopes from its flat lanes only when actually called, so
+    strategies that never look cost nothing per round. A thunk's
+    result is valid only for the duration of the call. *)
 
 type 'msg sync_adversary = {
   corrupted : Bitset.t;
-  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
-      (** [observed] is the batch of correct-node messages the adversary
-          is entitled to have seen when choosing its round-[round]
-          messages (current round when rushing, previous otherwise).
-          Returned envelopes must have a corrupted [src]. *)
+  act : round:int -> observed:(unit -> 'msg Envelope.t list) -> 'msg Envelope.t list;
+      (** [observed ()] is the batch of correct-node messages the
+          adversary is entitled to have seen when choosing its
+          round-[round] messages (current round when rushing, previous
+          otherwise). Returned envelopes must have a corrupted [src]. *)
 }
 
 type 'msg async_adversary = {
   corrupted : Bitset.t;
   max_delay : int;  (** upper bound the engine enforces on [delay] *)
-  delay : time:int -> 'msg Envelope.t -> int;
+  delay : time:int -> src:int -> dst:int -> 'msg -> int;
       (** delivery delay for a correct node's message, clamped to
           [\[1, max_delay\]] *)
-  observe : time:int -> 'msg Envelope.t list -> unit;
-      (** full-information hook: all messages sent at [time] *)
+  observe : time:int -> src:int -> dst:int -> 'msg -> unit;
+      (** full-information hook: called for every message a correct
+          node sends, at the moment it is sent, in send order *)
   inject : time:int -> ('msg Envelope.t * int) list;
       (** messages from corrupted identities, each with its own delay *)
 }
@@ -48,14 +54,15 @@ val validate_adversary_envelope :
 
 (** {1 Reusable delivery storage} *)
 
-(** Synchronous mailboxes: flat growable buffers reused across rounds
-    (double-buffered), so the steady-state engine allocates only the
-    envelopes themselves. *)
+(** Synchronous mailboxes: {!Batch} lanes reused across rounds
+    (double-buffered), so the steady-state engine allocates nothing
+    per message. *)
 module Mailbox : sig
   type 'msg t = {
-    correct_out : 'msg Envelope.t Vec.t;  (** current round's correct sends *)
-    in_flight : 'msg Envelope.t Vec.t;  (** staged for delivery next round *)
-    deliveries : 'msg Envelope.t Vec.t;  (** the double buffer being drained *)
+    correct_out : 'msg Batch.t;  (** current round's correct sends *)
+    in_flight : 'msg Batch.t;  (** staged for delivery next round *)
+    deliveries : 'msg Batch.t;  (** the double buffer being drained *)
+    prev_correct : 'msg Batch.t;  (** previous round's correct sends, for non-rushing observation *)
   }
 
   val create : unit -> 'msg t
@@ -66,20 +73,20 @@ module Mailbox : sig
 end
 
 (** Asynchronous calendar queue: a ring of [max_delay + 1] reusable
-    buckets indexed by [due mod width]. Delays clamped to
+    lane buckets indexed by [due mod width]. Delays clamped to
     [\[1, max_delay\]] can never alias two live due times. *)
 module Calendar : sig
   type 'msg t = {
     width : int;
-    buckets : 'msg Envelope.t Vec.t array;
+    buckets : 'msg Batch.t array;
     mutable pending : int;  (** scheduled but not yet consumed *)
   }
 
   val create : max_delay:int -> 'msg t
 
-  val schedule : 'msg t -> at:int -> 'msg Envelope.t -> unit
+  val schedule : 'msg t -> at:int -> src:int -> dst:int -> 'msg -> unit
 
-  val due : 'msg t -> time:int -> 'msg Envelope.t Vec.t
+  val due : 'msg t -> time:int -> 'msg Batch.t
   (** The bucket for [time]; the caller drains and clears it. *)
 
   val consumed : 'msg t -> int -> unit
@@ -116,24 +123,39 @@ module Make (P : Protocol.S) : sig
   (** Create every correct node ([P.init]) and pass its initial sends
       to [dispatch]. *)
 
-  val record_send : t -> P.msg Envelope.t -> unit
+  val record_send : t -> src:int -> dst:int -> P.msg -> unit
 
   val trace_round_start : t -> round:int -> unit
 
-  val trace_msg : t -> round:int -> byzantine:bool -> delay:int -> P.msg Envelope.t -> unit
+  val trace_msg :
+    t -> round:int -> byzantine:bool -> delay:int -> src:int -> dst:int -> P.msg -> unit
   (** Emits [Send] (correct) or [Inject] (byzantine) when a sink is
       attached; free otherwise. *)
 
-  val trace_drop : t -> round:int -> P.msg Envelope.t -> string -> unit
+  val trace_drop : t -> round:int -> src:int -> dst:int -> P.msg -> string -> unit
 
   val check_decision : t -> round:int -> int -> unit
 
   val check_decisions : t -> round:int -> unit
 
-  val deliver : t -> round:int -> P.msg Envelope.t -> respond:(int -> (int * P.msg) list -> unit) -> unit
+  val handler_of :
+    t ->
+    emit:(int -> P.msg -> unit) ->
+    P.state -> round:int -> src:int -> P.msg -> unit
+  (** The per-delivery protocol entry point: [P.receive_into] when the
+      protocol provides it, otherwise [P.on_receive] drained through
+      [emit] in list order. Build it once per run (it captures [emit]). *)
+
+  val deliver :
+    t ->
+    round:int ->
+    src:int ->
+    dst:int ->
+    P.msg ->
+    handle:(int -> P.state -> src:int -> P.msg -> unit) ->
+    unit
   (** The shared delivery step: {!Net.verdict} first (free under
       [Reliable]), then the Byzantine-destination drop, then
-      [P.on_receive] with the produced sends handed to [respond].
-      Network losses are traced through {!Events.Drop} with the
-      {!Net} reason tags. *)
+      [handle dst state ~src msg] (see {!handler_of}). Network losses
+      are traced through {!Events.Drop} with the {!Net} reason tags. *)
 end

@@ -30,6 +30,15 @@ module type S = sig
   val on_receive : config -> state -> round:int -> src:int -> msg -> (int * msg) list
   (** Deliver one message. [src] is authenticated by the network. *)
 
+  val receive_into :
+    (config -> state -> round:int -> src:int -> msg -> emit:(int -> msg -> unit) -> unit)
+    option
+  (** Optional allocation-free twin of [on_receive]: handle the message
+      and hand each send to [emit dst msg] instead of returning a list.
+      When present the engines deliver through it (sends must be emitted
+      in exactly the order [on_receive] would list them); [None] makes
+      the engines fall back to [on_receive]. *)
+
   val output : state -> string option
   (** The node's decision, once reached. Must be monotone: once
       [Some v], it never changes. *)
@@ -38,5 +47,8 @@ module type S = sig
   (** Size of a message on the wire, in bits, headers included. Used
       for the paper's communication-complexity accounting. *)
 
-  val pp_msg : Format.formatter -> msg -> unit
+  val pp_msg : config -> Format.formatter -> msg -> unit
+  (** Render a message for traces and event kinds. Takes the config so
+      packed (interned-id) message planes can resolve payloads back to
+      the real strings. *)
 end

@@ -6,7 +6,9 @@
     before choosing its own (the paper's rushing adversary); in
     [`Non_rushing] mode it only sees the previous round's messages. In
     both modes it has full information: every message ever sent is
-    eventually passed to [act] through [observed].
+    eventually reachable through [act]'s [observed] thunk (which
+    materializes envelopes from the engine's flat lanes only when
+    called — an adversary that never looks costs nothing per round).
 
     Delivery itself is pluggable: the [?net] network-condition layer
     ({!Net}) defaults to [Reliable] — the paper's model, bit-identical
@@ -19,7 +21,7 @@ open Fba_stdx
 
 type 'msg adversary = 'msg Engine_core.sync_adversary = {
   corrupted : Bitset.t;
-  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
+  act : round:int -> observed:(unit -> 'msg Envelope.t list) -> 'msg Envelope.t list;
 }
 
 let null_adversary = Engine_core.null_sync_adversary
@@ -50,45 +52,69 @@ module Make (P : Protocol.S) = struct
     let corrupted = adversary.corrupted in
     let core = Core.create ?events ~net ~config ~n ~seed ~corrupted () in
     let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create () in
-    let send src (dst, msg) =
+    let send src dst msg =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
-      Vec.push mb.correct_out (Envelope.make ~src ~dst msg)
+      Batch.push mb.correct_out ~src ~dst msg
     in
-    (* Hoisted so the delivery loop allocates no per-message closures. *)
-    let respond dst out = List.iter (send dst) out in
+    (* All closures the delivery path needs are built once, reading the
+       current round/sender through refs, so the loops allocate no
+       per-message (or per-node) closures. *)
+    let cur_round = ref 0 in
+    let cur_node = ref 0 in
+    let emit dst msg = send !cur_node dst msg in
+    let receive = Core.handler_of core ~emit in
+    let handle dst st ~src msg =
+      cur_node := dst;
+      receive st ~round:!cur_round ~src msg
+    in
+    let send_pair (dst, msg) = send !cur_node dst msg in
+    let observed =
+      match mode with
+      | `Rushing -> fun () -> Batch.to_envelopes mb.correct_out
+      | `Non_rushing -> fun () -> Batch.to_envelopes mb.prev_correct
+    in
     Core.trace_round_start core ~round:0;
     (* Round 0: initialize correct nodes. *)
-    Core.init_nodes core ~seed ~dispatch:(fun id out -> List.iter (send id) out);
+    Core.init_nodes core ~seed ~dispatch:(fun id out ->
+        cur_node := id;
+        List.iter send_pair out);
     Core.check_decisions core ~round:0;
-    let commit_round ~round ~prev_correct =
-      (* Ask the adversary for its round-[round] messages. The adversary
-         interface stays list-based; the per-round list materialization
-         here is the price of its full-information contract. *)
-      let this_round_correct = Vec.to_list mb.correct_out in
-      let observed =
-        match mode with `Rushing -> this_round_correct | `Non_rushing -> prev_correct
-      in
+    let commit_round ~round =
+      let correct_count = Batch.length mb.correct_out in
+      (* Ask the adversary for its round-[round] messages; [observed]
+         materializes envelopes only if the strategy actually looks. *)
       let byz = adversary.act ~round ~observed in
       List.iter (validate_adversary_envelope ~n ~corrupted) byz;
       (* Byzantine messages are delivered before correct ones next
          round: adversary-favorable tie-breaking, so races (e.g. the
          overload filter of Algorithm 3) resolve for the worst case. *)
-      Vec.clear mb.in_flight;
+      Batch.clear mb.in_flight;
       List.iter
-        (fun e ->
-          Core.record_send core e;
-          Core.trace_msg core ~round ~byzantine:true ~delay:1 e;
-          Vec.push mb.in_flight e)
+        (fun (e : P.msg Envelope.t) ->
+          Core.record_send core ~src:e.src ~dst:e.dst e.msg;
+          Core.trace_msg core ~round ~byzantine:true ~delay:1 ~src:e.src ~dst:e.dst e.msg;
+          Batch.push mb.in_flight ~src:e.src ~dst:e.dst e.msg)
         byz;
-      Vec.iter (Core.record_send core) mb.correct_out;
+      Batch.iter (fun ~src ~dst msg -> Core.record_send core ~src ~dst msg) mb.correct_out;
       (match events with
       | None -> ()
-      | Some _ -> Vec.iter (Core.trace_msg core ~round ~byzantine:false ~delay:1) mb.correct_out);
-      Vec.append mb.in_flight mb.correct_out;
-      Vec.clear mb.correct_out;
-      this_round_correct
+      | Some _ ->
+        Batch.iter
+          (fun ~src ~dst msg ->
+            Core.trace_msg core ~round ~byzantine:false ~delay:1 ~src ~dst msg)
+          mb.correct_out);
+      Batch.append mb.in_flight mb.correct_out;
+      (match mode with
+      | `Non_rushing ->
+        (* Keep this round's correct sends alive for next round's
+           observation window. *)
+        Batch.clear mb.prev_correct;
+        Batch.append mb.prev_correct mb.correct_out
+      | `Rushing -> ());
+      Batch.clear mb.correct_out;
+      correct_count
     in
-    let prev_correct = ref (commit_round ~round:0 ~prev_correct:[]) in
+    let prev_correct = ref (commit_round ~round:0) in
     let round = ref 0 in
     (* Quiescence: some protocols (committee trees, phase king,
        re-polling AER) have planned gaps with nothing in flight, so we
@@ -98,32 +124,39 @@ module Make (P : Protocol.S) = struct
     let quiet = ref 0 in
     let last_active = ref 0 in
     (* Main loop: rounds 1 .. max_rounds. *)
-    let continue = ref (core.undecided > 0 || not (Vec.is_empty mb.in_flight)) in
+    let continue = ref (core.undecided > 0 || not (Batch.is_empty mb.in_flight)) in
     while !continue && !round < max_rounds do
       incr round;
       let r = !round in
+      cur_round := r;
       Core.trace_round_start core ~round:r;
       (* Clock hook. *)
       for id = 0 to n - 1 do
         match core.states.(id) with
         | None -> ()
-        | Some st -> List.iter (send id) (P.on_round config st ~round:r)
+        | Some st ->
+          cur_node := id;
+          List.iter send_pair (P.on_round config st ~round:r)
       done;
       (* Deliver last round's messages: swap the staged mailbox into the
          delivery buffer so [send] can refill [correct_out]/[in_flight]
          while we iterate. *)
       Engine_core.Mailbox.stage_deliveries mb;
-      let delivered_any = not (Vec.is_empty mb.deliveries) in
-      Vec.iter (fun (e : P.msg Envelope.t) -> Core.deliver core ~round:r e ~respond) mb.deliveries;
+      let delivered_any = not (Batch.is_empty mb.deliveries) in
+      let due = Batch.length mb.deliveries in
+      for i = 0 to due - 1 do
+        Core.deliver core ~round:r ~src:(Batch.src mb.deliveries i)
+          ~dst:(Batch.dst mb.deliveries i) (Batch.msg mb.deliveries i) ~handle
+      done;
       Core.check_decisions core ~round:r;
-      prev_correct := commit_round ~round:r ~prev_correct:!prev_correct;
-      if (not delivered_any) && Vec.is_empty mb.in_flight then incr quiet
+      prev_correct := commit_round ~round:r;
+      if (not delivered_any) && Batch.is_empty mb.in_flight then incr quiet
       else begin
         quiet := 0;
         last_active := r
       end;
       continue :=
-        (core.undecided > 0 || not (Vec.is_empty mb.in_flight) || !prev_correct <> [])
+        (core.undecided > 0 || (not (Batch.is_empty mb.in_flight)) || !prev_correct > 0)
         && !quiet < quiet_limit
     done;
     let rounds_used = if !quiet > 0 then !last_active else !round in

@@ -7,11 +7,14 @@ open Fba_stdx
 
 type 'msg adversary = 'msg Engine_core.sync_adversary = {
   corrupted : Bitset.t;
-  act : round:int -> observed:'msg Envelope.t list -> 'msg Envelope.t list;
-      (** [observed] is the batch of correct-node messages the adversary
-          is entitled to have seen when choosing its round-[round]
-          messages (current round when rushing, previous otherwise).
-          Returned envelopes must have a corrupted [src]. *)
+  act : round:int -> observed:(unit -> 'msg Envelope.t list) -> 'msg Envelope.t list;
+      (** [observed ()] is the batch of correct-node messages the
+          adversary is entitled to have seen when choosing its
+          round-[round] messages (current round when rushing, previous
+          otherwise); it materializes envelopes from the engine's flat
+          lanes only when called, and the result is valid only for the
+          duration of the call. Returned envelopes must have a
+          corrupted [src]. *)
 }
 
 val null_adversary : corrupted:Bitset.t -> 'msg adversary

@@ -66,12 +66,23 @@ module Traced (P : Protocol.S) = struct
   let on_round (cfg, _) st ~round = P.on_round cfg st ~round
 
   let on_receive (cfg, trace) st ~round ~src msg =
-    record trace ~round ~kind:(kind_of_pp P.pp_msg msg);
+    record trace ~round ~kind:(kind_of_pp (P.pp_msg cfg) msg);
     P.on_receive cfg st ~round ~src msg
+
+  (* The fast path must record too, so wrap P's when present; a [None]
+     inner protocol falls back to [on_receive] above. *)
+  let receive_into =
+    match P.receive_into with
+    | None -> None
+    | Some f ->
+      Some
+        (fun (cfg, trace) st ~round ~src msg ~emit ->
+          record trace ~round ~kind:(kind_of_pp (P.pp_msg cfg) msg);
+          f cfg st ~round ~src msg ~emit)
 
   let output = P.output
 
   let msg_bits (cfg, _) msg = P.msg_bits cfg msg
 
-  let pp_msg = P.pp_msg
+  let pp_msg (cfg, _) = P.pp_msg cfg
 end

@@ -69,18 +69,26 @@ else
   exit 1
 fi
 
-# Net-layer cost gate: with the default Net.Reliable, the cornering
-# perf target's allocation must stay within +1% of the most recent
-# recorded BENCH_<rev>.json — the pluggable layer must cost nothing
-# when off. (Allocation is deterministic for this workload, so a tight
-# relative bound is safe where a wall-time bound would flake.)
-if command -v python3 > /dev/null 2>&1; then
-  baseline=""
-  for rev in $(git log --format=%h 2>/dev/null); do
-    if [ -f "BENCH_$rev.json" ]; then baseline="BENCH_$rev.json"; break; fi
-  done
-  if [ -n "$baseline" ]; then
-    words="$(dune exec bench/main.exe -- perf-target fig1a/aer-cornering-n128)"
+# Perf gate: the cornering perf target must stay close to the most
+# recent recorded BENCH_<rev>.json baseline. Two checks share one
+# measurement (perf-target --record writes it as a one-target
+# BENCH-format file):
+#   - allocation within +1% (deterministic for this workload, so a
+#     tight relative bound is safe where a wall-time bound would flake);
+#   - wall time within +FBA_PERF_TIME_TOL percent (default 10 — a
+#     generous bound that still catches order-of-magnitude slips),
+#     via `bench perf --compare --metric time`.
+baseline=""
+for rev in $(git log --format=%h 2>/dev/null); do
+  if [ -f "BENCH_$rev.json" ]; then baseline="BENCH_$rev.json"; break; fi
+done
+if [ -n "$baseline" ]; then
+  current="$(mktemp)"
+  trap 'rm -f "$jsonl" "$seq_out" "$par_out" "$current"' EXIT
+  words="$(dune exec bench/main.exe -- perf-target fig1a/aer-cornering-n128 --record "$current")"
+  dune exec bench/main.exe -- perf --compare "$baseline" "$current" \
+    --tol "${FBA_PERF_TIME_TOL:-10}" --metric time
+  if command -v python3 > /dev/null 2>&1; then
     python3 - "$baseline" "$words" <<'EOF'
 import json, sys
 baseline_path, words = sys.argv[1], float(sys.argv[2])
@@ -100,8 +108,8 @@ print(f"allocation gate ok: {target} at {words:.0f} words/run, "
       f"{(ratio - 1) * 100:+.2f}% vs {baseline_path}")
 EOF
   else
-    echo "no recorded BENCH_<rev>.json baseline; skipping allocation gate" >&2
+    echo "python3 not found; skipping allocation gate" >&2
   fi
 else
-  echo "python3 not found; skipping allocation gate" >&2
+  echo "no recorded BENCH_<rev>.json baseline; skipping perf gates" >&2
 fi

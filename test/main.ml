@@ -14,6 +14,7 @@ let () =
          Test_extensions.suites;
          Test_harness.suites;
          Test_props.suites;
+         Test_packed.suites;
          Test_determinism.suites;
          Test_net.suites;
        ])

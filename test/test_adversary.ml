@@ -50,7 +50,7 @@ let test_push_flood_volume () =
      sender sits in: per fake string at most ~(a*d_i) targets/sender. *)
   let sc = mk_scenario 4L in
   let attack = Attacks.push_flood ~fake_strings:2 sc in
-  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:[] in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:(fun () -> []) in
   let t = Bitset.cardinal sc.Scenario.corrupted in
   let d_i = Params.(sc.Scenario.params.d_i) in
   Alcotest.(check bool) "nonempty" true (envs <> []);
@@ -59,25 +59,30 @@ let test_push_flood_volume () =
   (* Idempotence: only fires in round 0. *)
   Alcotest.(check (list reject)) "fires once"
     []
-    (List.map (fun _ -> ()) (attack.Fba_sim.Sync_engine.act ~round:1 ~observed:[]))
+    (List.map (fun _ -> ()) (attack.Fba_sim.Sync_engine.act ~round:1 ~observed:(fun () -> [])))
 
 let test_cornering_budget () =
   (* Each corrupted node spends exactly one pull request: d_j polls +
      d_h pulls. *)
   let sc = mk_scenario ~byz:0.2 ~kn:0.8 5L in
   let attack = Attacks.cornering sc in
-  (* feed it a synthetic observation: one honest poll *)
+  (* feed it a synthetic observation: one honest poll (packed, like
+     everything the engine would show it) *)
+  let intern = sc.Scenario.intern in
   let observed =
-    [ Fba_sim.Envelope.make ~src:1 ~dst:2 (Msg.Poll { s = sc.Scenario.gstring; r = 5L }) ]
+    [
+      Fba_sim.Envelope.make ~src:1 ~dst:2
+        (Msg.Packed.pack intern (Msg.Poll { s = sc.Scenario.gstring; r = 5L }));
+    ]
   in
-  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:(fun () -> observed) in
   let t = Bitset.cardinal sc.Scenario.corrupted in
   let expected = t * (Params.(sc.Scenario.params.d_j) + Params.(sc.Scenario.params.d_h)) in
   Alcotest.(check int) "budget = t*(d_j + d_h) messages" expected (List.length envs);
   List.iter
-    (fun (e : Msg.t Fba_sim.Envelope.t) ->
+    (fun (e : Aer.msg Fba_sim.Envelope.t) ->
       Alcotest.(check bool) "from corrupted" true (Bitset.mem sc.Scenario.corrupted e.src);
-      match e.Fba_sim.Envelope.msg with
+      match Msg.Packed.unpack intern e.Fba_sim.Envelope.msg with
       | Msg.Poll { s; _ } | Msg.Pull { s; _ } ->
         Alcotest.(check string) "targets gstring" sc.Scenario.gstring s
       | _ -> Alcotest.fail "unexpected message kind")
@@ -90,12 +95,12 @@ let test_quorum_capture_strings_pass_filter () =
   let rng = Prng.create 7L in
   let sc = Scenario.make ~params ~rng ~byzantine_fraction:0.25 ~knowledgeable_fraction:0.7 () in
   let attack = Attacks.quorum_capture ~victims:2 ~strings_per_victim:4 sc in
-  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:[] in
+  let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:(fun () -> []) in
   Alcotest.(check bool) "found capture strings" true (envs <> []);
   let si = Params.sampler_i params in
   List.iter
-    (fun (e : Msg.t Fba_sim.Envelope.t) ->
-      match e.Fba_sim.Envelope.msg with
+    (fun (e : Aer.msg Fba_sim.Envelope.t) ->
+      match Msg.Packed.unpack sc.Scenario.intern e.Fba_sim.Envelope.msg with
       | Msg.Push s ->
         Alcotest.(check bool) "sender in I(s, victim)" true
           (Fba_samplers.Sampler.mem_sx si ~s ~x:e.dst ~y:e.src)
@@ -145,22 +150,20 @@ let test_corruption_adaptive_denies_gstring () =
 (* --- Schedulers --- *)
 
 let test_schedulers () =
-  let e = Fba_sim.Envelope.make ~src:1 ~dst:2 () in
-  Alcotest.(check int) "unit" 1 (Schedulers.unit_delay ~time:0 e);
+  Alcotest.(check int) "unit" 1 (Schedulers.unit_delay ~time:0 ~src:1 ~dst:2 ());
   let corrupted = Bitset.of_list 4 [ 3 ] in
   Alcotest.(check int) "slow correct-correct" 5
-    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 e);
-  let eb = Fba_sim.Envelope.make ~src:3 ~dst:2 () in
+    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 ~src:1 ~dst:2 ());
   Alcotest.(check int) "fast byzantine" 1
-    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 eb);
+    (Schedulers.slow_correct ~corrupted ~max_delay:5 ~time:0 ~src:3 ~dst:2 ());
   for t = 0 to 50 do
-    let d = Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:t e in
+    let d = Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:t ~src:1 ~dst:2 () in
     Alcotest.(check bool) "uniform in range" true (d >= 1 && d <= 7)
   done;
   (* determinism *)
   Alcotest.(check int) "uniform deterministic"
-    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 e)
-    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 e)
+    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 ~src:1 ~dst:2 ())
+    (Schedulers.uniform_random ~seed:1L ~max_delay:7 ~time:3 ~src:1 ~dst:2 ())
 
 let suites =
   [

@@ -292,7 +292,7 @@ let is_all_zero s = String.for_all (fun c -> c = '\000') s
 let test_aeba_async_boundary () =
   (* With unit delays the asynchronous engine reduces to lock-step:
      full agreement on a string with actual entropy. *)
-  let frac1, g1 = run_aeba_async ~n:64 ~seed:51L ~delay_fn:(fun ~time:_ _ -> 1) ~max_delay:1 in
+  let frac1, g1 = run_aeba_async ~n:64 ~seed:51L ~delay_fn:(fun ~time:_ ~src:_ ~dst:_ _ -> 1) ~max_delay:1 in
   Alcotest.(check (float 0.001)) "lock-step async works" 1.0 frac1;
   Alcotest.(check bool) "lock-step string carries entropy" false (is_all_zero g1);
   (* With real asynchrony (every message delayed 3 steps) the fixed
@@ -302,7 +302,7 @@ let test_aeba_async_boundary () =
      the composition needs is gone, which is exactly why the paper's
      conclusion lists asynchronous almost-everywhere agreement as an
      open problem. *)
-  let _, g3 = run_aeba_async ~n:64 ~seed:51L ~delay_fn:(fun ~time:_ _ -> 3) ~max_delay:3 in
+  let _, g3 = run_aeba_async ~n:64 ~seed:51L ~delay_fn:(fun ~time:_ ~src:_ ~dst:_ _ -> 3) ~max_delay:3 in
   Alcotest.(check bool) "asynchrony degrades the output to the default" true (is_all_zero g3)
 
 (* --- Aeba under dedicated attacks --- *)

@@ -20,9 +20,15 @@ let make_env ?(seed = 77L) () =
   in
   (params, sc, Aer.config_of_scenario sc)
 
+(* The protocol runs on the packed plane; these tests reason at the
+   variant level, so the helpers pack on the way in and unpack on the
+   way out. *)
+let unpack_outs cfg outs = List.map (fun (dst, m) -> (dst, Aer.unpack cfg m)) outs
+
 let init_node cfg id =
   let ctx = Fba_sim.Ctx.make ~n ~id ~seed:77L in
-  Aer.init cfg ctx
+  let st, outs = Aer.init cfg ctx in
+  (st, unpack_outs cfg outs)
 
 (* Find a correct, ignorant node to exercise. *)
 let pick_ignorant sc =
@@ -35,7 +41,8 @@ let pick_ignorant sc =
 
 let push_quorum params ~s ~x = Sampler.quorum_sx (Params.sampler_i params) ~s ~x
 
-let deliver cfg st ~src msg = Aer.on_receive cfg st ~round:1 ~src msg
+let deliver cfg st ~src msg =
+  unpack_outs cfg (Aer.on_receive cfg st ~round:1 ~src (Aer.pack cfg msg))
 
 let test_push_requires_membership () =
   let params, sc, cfg = make_env () in

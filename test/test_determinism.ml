@@ -80,6 +80,32 @@ let test_golden_async_cornering () =
     ~decided:231
     (run_async ~n:256 ~seed:7L (fun sc -> Attacks.async_cornering sc))
 
+(* Packed-path golden: the interner is the packed plane's side table —
+   every string and label a run touches is registered in deterministic
+   order, so its final contents are as much a fingerprint of the
+   execution as the traffic counters above. Recorded from the same
+   n=256 seed=7 cornering run the sync golden pins. *)
+let test_golden_intern_table () =
+  let n = 256 and seed = 7L in
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+  let cfg = Aer.config_of_scenario sc in
+  ignore
+    (Aer_sync.run ~quiet_limit:(quiet_limit_of sc) ~config:cfg ~n ~seed
+       ~adversary:(Attacks.cornering sc) ~mode:`Rushing ~max_rounds:300 ());
+  let it = sc.Scenario.intern in
+  Alcotest.(check int) "interned strings" 39 (Intern.string_count it);
+  Alcotest.(check int) "interned labels" 269 (Intern.label_count it);
+  let h = ref (Hash64.init 0x1D5L) in
+  for i = 0 to Intern.string_count it - 1 do
+    h := Hash64.add_string !h (Intern.string it i)
+  done;
+  for i = 0 to Intern.label_count it - 1 do
+    h := Hash64.add_int64 !h (Intern.label it i)
+  done;
+  let got = Hash64.finish !h in
+  if not (Int64.equal got 0x52c40008e5570c47L) then
+    Alcotest.failf "intern table drifted: got 0x%LxL, recorded 0x52c40008e5570c47L" got
+
 let arb_run =
   QCheck.make
     ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%Ld" n seed)
@@ -142,6 +168,7 @@ let suites =
         Alcotest.test_case "aer sync silent n=256" `Slow test_golden_sync_silent;
         Alcotest.test_case "aer sync cornering n=256" `Slow test_golden_sync_cornering;
         Alcotest.test_case "aer async cornering n=256" `Slow test_golden_async_cornering;
+        Alcotest.test_case "packed intern table n=256" `Slow test_golden_intern_table;
       ] );
     ( "determinism.qcheck",
       List.map QCheck_alcotest.to_alcotest

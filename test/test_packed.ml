@@ -1,0 +1,226 @@
+(* Packed message plane (Msg.Packed + Intern).
+
+   Three layers of evidence that the immediate-int wire plane is an
+   exact stand-in for the variant messages:
+
+   - layout goldens: hard-coded packed words pin the documented bit
+     layout (tag:3 | sid:13 | rid:20 | x:13 | w:13, LSB first) so an
+     accidental field reshuffle cannot hide behind a self-consistent
+     codec;
+   - qcheck properties: pack/unpack round-trips every constructor
+     across the full field ranges, [Packed.bits] agrees with [Msg.bits]
+     and [Packed.pp] renders exactly as [Msg.pp];
+   - engine equivalence: running AER through the allocation-free
+     [receive_into] fast path and through the list-returning
+     [on_receive] fallback produces bit-identical metrics, outputs and
+     JSONL traces on small adversarial scenarios — the two delivery
+     paths of the engines are the same protocol. *)
+
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+module Metrics = Fba_sim.Metrics
+open Fba_core
+open Fba_stdx
+module Packed = Msg.Packed
+
+(* --- Layout goldens --- *)
+
+let test_layout_goldens () =
+  let it = Intern.create () in
+  Alcotest.(check int) "first string id" 0 (Intern.intern it "alpha");
+  Alcotest.(check int) "second string id" 1 (Intern.intern it "beta");
+  Alcotest.(check int) "interning is idempotent" 0 (Intern.intern it "alpha");
+  Alcotest.(check int) "first label id" 0 (Intern.intern_label it 0x5EEDL);
+  Alcotest.(check int) "second label id" 1 (Intern.intern_label it 42L);
+  let pack m = Packed.pack it m in
+  Alcotest.(check int) "Push alpha" 1 (pack (Msg.Push "alpha"));
+  Alcotest.(check int) "Answer alpha" 6 (pack (Msg.Answer "alpha"));
+  Alcotest.(check int) "Poll beta/0x5EED" 10 (pack (Msg.Poll { s = "beta"; r = 0x5EEDL }));
+  Alcotest.(check int) "Pull beta/0x5EED" 11 (pack (Msg.Pull { s = "beta"; r = 0x5EEDL }));
+  Alcotest.(check int) "Poll alpha/42 (rid 1)" 65538 (pack (Msg.Poll { s = "alpha"; r = 42L }));
+  Alcotest.(check int) "Fw1 x=5 w=7" 3940993271332868
+    (pack (Msg.Fw1 { x = 5; s = "alpha"; r = 0x5EEDL; w = 7 }));
+  Alcotest.(check int) "Fw2 x=5" 343597383685 (pack (Msg.Fw2 { x = 5; s = "alpha"; r = 0x5EEDL }))
+
+let test_field_boundaries () =
+  let max_sid = Intern.max_strings - 1 in
+  let max_rid = Intern.max_labels - 1 in
+  let p = Packed.fw1 ~sid:max_sid ~rid:max_rid ~x:8191 ~w:8191 in
+  Alcotest.(check int) "max word uses exactly 62 bits" 4611686018427387900 p;
+  Alcotest.(check int) "tag at boundary" Packed.tag_fw1 (Packed.tag p);
+  Alcotest.(check int) "sid at boundary" max_sid (Packed.sid p);
+  Alcotest.(check int) "rid at boundary" max_rid (Packed.rid p);
+  Alcotest.(check int) "x at boundary" 8191 (Packed.x p);
+  Alcotest.(check int) "w at boundary" 8191 (Packed.w p);
+  let rejects name f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "sid overflow" (fun () -> Packed.push ~sid:(max_sid + 1));
+  rejects "rid overflow" (fun () -> Packed.poll ~sid:0 ~rid:(max_rid + 1));
+  rejects "x overflow" (fun () -> Packed.fw2 ~sid:0 ~rid:0 ~x:8192);
+  rejects "w overflow" (fun () -> Packed.fw1 ~sid:0 ~rid:0 ~x:0 ~w:8192);
+  rejects "negative sid" (fun () -> Packed.push ~sid:(-1))
+
+(* --- qcheck codec properties --- *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Strings from a mix of arbitrary bytes and a small pool (so repeated
+   interning — the realistic case — is exercised too); labels across
+   the full int64 range, node ids across the full 13-bit field. *)
+let gen_msg =
+  let open QCheck2.Gen in
+  let gs =
+    oneof
+      [ string_size (int_range 0 48); map (Printf.sprintf "s%d") (int_range 0 9) ]
+  in
+  let gr = oneof [ int64; map Int64.of_int (int_range 0 9) ] in
+  let gx = int_range 0 8191 in
+  oneof
+    [
+      map (fun s -> Msg.Push s) gs;
+      map2 (fun s r -> Msg.Poll { s; r }) gs gr;
+      map2 (fun s r -> Msg.Pull { s; r }) gs gr;
+      map3 (fun (x, w) s r -> Msg.Fw1 { x; s; r; w }) (pair gx gx) gs gr;
+      map3 (fun x s r -> Msg.Fw2 { x; s; r }) gx gs gr;
+      map (fun s -> Msg.Answer s) gs;
+    ]
+
+let gen_msgs = QCheck2.Gen.(list_size (int_range 1 40) gen_msg)
+
+let prop_roundtrip =
+  qtest "Packed codec round-trips every constructor" gen_msgs (fun ms ->
+      let it = Intern.create () in
+      List.for_all
+        (fun m ->
+          let p = Packed.pack it m in
+          Packed.unpack it p = m && Packed.pack it m = p)
+        ms)
+
+let prop_bits =
+  qtest "Packed.bits equals Msg.bits on the unpacked message" gen_msgs (fun ms ->
+      let it = Intern.create () in
+      let params = Params.make ~n:1024 ~seed:1L () in
+      List.for_all
+        (fun m -> Packed.bits params it (Packed.pack it m) = Msg.bits params m)
+        ms)
+
+let prop_pp =
+  qtest "Packed.pp renders exactly as Msg.pp" gen_msgs (fun ms ->
+      let it = Intern.create () in
+      List.for_all
+        (fun m ->
+          Format.asprintf "%a" (Packed.pp it) (Packed.pack it m)
+          = Format.asprintf "%a" Msg.pp m)
+        ms)
+
+(* --- Fast-path vs fallback engine equivalence --- *)
+
+(* Same protocol, [receive_into] withheld: the engines must take the
+   list-returning [on_receive] shim instead. *)
+module Aer_fallback = struct
+  include Aer
+
+  let receive_into = None
+end
+
+module E_fast = Fba_sim.Sync_engine.Make (Aer)
+module E_slow = Fba_sim.Sync_engine.Make (Aer_fallback)
+module A_fast = Fba_sim.Async_engine.Make (Aer)
+module A_slow = Fba_sim.Async_engine.Make (Aer_fallback)
+
+let fingerprint m =
+  let h = ref (Hash64.init 0x600DL) in
+  let n = Metrics.n m in
+  for i = 0 to n - 1 do
+    h := Hash64.add_int !h (Metrics.sent_messages_of m i);
+    h := Hash64.add_int !h (Metrics.sent_bits_of m i);
+    h := Hash64.add_int !h (Metrics.recv_messages_of m i);
+    h := Hash64.add_int !h (Metrics.recv_bits_of m i);
+    h := Hash64.add_int !h (match Metrics.decision_round m i with None -> -1 | Some r -> r)
+  done;
+  Hash64.finish (Hash64.add_int !h (Metrics.rounds m))
+
+let quiet_limit_of sc =
+  if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+    Params.(sc.Scenario.params.repoll_timeout) + 2
+  else 3
+
+let jsonl_sink () =
+  let buf = Buffer.create 4096 in
+  let sink = Fba_sim.Events.create () in
+  Fba_sim.Events.attach sink (Fba_sim.Events.Jsonl.consumer buf);
+  (sink, buf)
+
+let arb_run =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%Ld" n seed)
+    QCheck.Gen.(pair (int_range 24 64) (map Int64.of_int (int_range 1 1000)))
+
+let prop_sync_fallback_identical =
+  QCheck.Test.make ~name:"sync: receive_into and on_receive runs are trace-identical" ~count:8
+    arb_run (fun (n, seed) ->
+      let run (type a) (run_engine : events:Fba_sim.Events.sink -> Aer.config -> a) =
+        let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+        let events, buf = jsonl_sink () in
+        let cfg = Aer.config_of_scenario ~events sc in
+        (run_engine ~events cfg, buf, quiet_limit_of sc, sc)
+      in
+      let fast, fast_buf, _, _ =
+        run (fun ~events cfg ->
+            let sc = Aer.config_scenario cfg in
+            E_fast.run ~quiet_limit:(quiet_limit_of sc) ~events ~config:cfg ~n ~seed
+              ~adversary:(Attacks.cornering sc) ~mode:`Rushing ~max_rounds:300 ())
+      in
+      let slow, slow_buf, _, _ =
+        run (fun ~events cfg ->
+            let sc = Aer.config_scenario cfg in
+            E_slow.run ~quiet_limit:(quiet_limit_of sc) ~events ~config:cfg ~n ~seed
+              ~adversary:(Attacks.cornering sc) ~mode:`Rushing ~max_rounds:300 ())
+      in
+      Int64.equal
+        (fingerprint fast.Fba_sim.Sync_engine.metrics)
+        (fingerprint slow.Fba_sim.Sync_engine.metrics)
+      && fast.Fba_sim.Sync_engine.outputs = slow.Fba_sim.Sync_engine.outputs
+      && Buffer.contents fast_buf = Buffer.contents slow_buf)
+
+let prop_async_fallback_identical =
+  QCheck.Test.make ~name:"async: receive_into and on_receive runs are trace-identical" ~count:5
+    arb_run (fun (n, seed) ->
+      let run_with runner =
+        let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+        let events, buf = jsonl_sink () in
+        let cfg = Aer.config_of_scenario ~events sc in
+        (runner ~events ~config:cfg ~adversary:(Attacks.async_cornering sc), buf)
+      in
+      let fast, fast_buf =
+        run_with (fun ~events ~config ~adversary ->
+            A_fast.run ~events ~config ~n ~seed ~adversary ~max_time:4000 ())
+      in
+      let slow, slow_buf =
+        run_with (fun ~events ~config ~adversary ->
+            A_slow.run ~events ~config ~n ~seed ~adversary ~max_time:4000 ())
+      in
+      Int64.equal
+        (fingerprint fast.Fba_sim.Async_engine.metrics)
+        (fingerprint slow.Fba_sim.Async_engine.metrics)
+      && fast.Fba_sim.Async_engine.outputs = slow.Fba_sim.Async_engine.outputs
+      && Buffer.contents fast_buf = Buffer.contents slow_buf)
+
+let suites =
+  [
+    ( "packed.codec",
+      [
+        Alcotest.test_case "layout goldens" `Quick test_layout_goldens;
+        Alcotest.test_case "field boundaries" `Quick test_field_boundaries;
+        prop_roundtrip;
+        prop_bits;
+        prop_pp;
+      ] );
+    ( "packed.engine",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_sync_fallback_identical; prop_async_fallback_identical ] );
+  ]

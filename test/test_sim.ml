@@ -26,9 +26,10 @@ module Ring = struct
       [ ((st.ctx.Ctx.id + 1) mod cfg.n, Token) ]
     end
 
+  let receive_into = None
   let output st = if st.got then Some "done" else None
   let msg_bits _ Token = 16
-  let pp_msg fmt Token = Format.fprintf fmt "Token"
+  let pp_msg _cfg fmt Token = Format.fprintf fmt "Token"
 end
 
 module Ring_sync = Sync_engine.Make (Ring)
@@ -112,7 +113,7 @@ let test_rushing_vs_non_rushing_observation () =
         Sync_engine.corrupted;
         act =
           (fun ~round ~observed ->
-            if round = 0 then observed_round0 := List.length observed;
+            if round = 0 then observed_round0 := List.length (observed ());
             []);
       }
     in
@@ -130,7 +131,7 @@ let test_async_delays () =
     {
       (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
       Async_engine.max_delay = 3;
-      delay = (fun ~time:_ _ -> 3);
+      delay = (fun ~time:_ ~src:_ ~dst:_ _ -> 3);
     }
   in
   let res =
@@ -152,7 +153,7 @@ let test_async_delay_clamping () =
     {
       (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
       Async_engine.max_delay = 2;
-      delay = (fun ~time:_ _ -> 100);
+      delay = (fun ~time:_ ~src:_ ~dst:_ _ -> 100);
       (* must be clamped to 2 *)
     }
   in
@@ -171,7 +172,7 @@ let test_async_calendar_wraparound () =
       (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
       Async_engine.max_delay = 2;
       (* width 3 *)
-      delay = (fun ~time _ -> 1 + (time mod 2));
+      delay = (fun ~time ~src:_ ~dst:_ _ -> 1 + (time mod 2));
     }
   in
   let res = Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:100 () in
@@ -194,7 +195,7 @@ let test_async_calendar_mixed_delays () =
       (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
       Async_engine.max_delay = 3;
       (* width 4 *)
-      delay = (fun ~time:_ (e : Ring.msg Envelope.t) -> if e.Envelope.dst mod 2 = 0 then 1 else 3);
+      delay = (fun ~time:_ ~src:_ ~dst _ -> if dst mod 2 = 0 then 1 else 3);
     }
   in
   let res = Ring_async.run ~config:{ Ring.n } ~n ~seed:1L ~adversary ~max_time:100 () in
@@ -251,7 +252,7 @@ let test_metrics_imbalance () =
 
 let test_envelope_pp () =
   let e = Envelope.make ~src:1 ~dst:2 Ring.Token in
-  let s = Format.asprintf "%a" (Envelope.pp Ring.pp_msg) e in
+  let s = Format.asprintf "%a" (Envelope.pp (Ring.pp_msg { Ring.n = 3 })) e in
   Alcotest.(check string) "pp" "1->2: Token" s
 
 (* --- Trace --- *)
@@ -430,7 +431,7 @@ let test_async_engine_emits_events () =
     {
       (Async_engine.null_adversary ~corrupted:(no_corruption n)) with
       Async_engine.max_delay = 2;
-      delay = (fun ~time:_ _ -> 2);
+      delay = (fun ~time:_ ~src:_ ~dst:_ _ -> 2);
     }
   in
   let res =
