@@ -257,10 +257,16 @@ let run_compare base_path new_path ~tol ~metric =
         ]
   in
   let failures = ref [] in
+  (* One-sided targets never gate (ci compares a one-target record
+     against the full baseline), but silence would let a renamed or
+     deleted benchmark vanish from the radar — report them loudly. *)
+  let one_sided = ref [] in
   List.iter
     (fun (name, bt, bw) ->
       match List.find_opt (fun (n, _, _) -> n = name) curr with
-      | None -> Fba_stdx.Table.add_row tbl [ name; "-"; "dropped"; "-"; "dropped" ]
+      | None ->
+        one_sided := Printf.sprintf "target %S is in %s but not in %s" name base_path new_path :: !one_sided;
+        Fba_stdx.Table.add_row tbl [ name; "-"; "dropped"; "-"; "dropped" ]
       | Some (_, nt, nw) ->
         let dt = pct nt bt and dw = pct nw bw in
         Fba_stdx.Table.add_row tbl
@@ -282,11 +288,14 @@ let run_compare base_path new_path ~tol ~metric =
     base;
   List.iter
     (fun (name, _, _) ->
-      if not (List.exists (fun (n, _, _) -> n = name) base) then
-        Fba_stdx.Table.add_row tbl [ name; "-"; "new"; "-"; "new" ])
+      if not (List.exists (fun (n, _, _) -> n = name) base) then begin
+        one_sided := Printf.sprintf "target %S is in %s but not in %s" name new_path base_path :: !one_sided;
+        Fba_stdx.Table.add_row tbl [ name; "-"; "new"; "-"; "new" ]
+      end)
     curr;
   Fba_stdx.Table.print tbl;
   print_newline ();
+  List.iter (fun w -> Printf.eprintf "compare warning: %s\n" w) (List.rev !one_sided);
   match !failures with
   | [] ->
     (match tol with

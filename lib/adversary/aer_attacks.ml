@@ -47,7 +47,7 @@ let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
   let params = sc.Scenario.params in
   let rng = adversary_rng sc "push_flood" in
   let fakes = Array.init fake_strings (fun _ -> random_string rng params.Params.gstring_bits) in
-  let plan = Push_plan.create ~sampler:(Params.sampler_i params) in
+  let plan = Push_plan.create ~sampler:(Params.sampler_i params) () in
   let byz = byzantine_ids sc in
   let act ~round ~observed:_ =
     if round <> 0 then []

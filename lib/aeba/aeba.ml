@@ -99,6 +99,7 @@ type state = {
 }
 
 let name = "aeba"
+let compile _ = ()
 
 (* Phase markers follow the global round schedule, so every node can
    announce them; Events.phase keeps only the first activation. *)

@@ -36,6 +36,7 @@ type state = {
 }
 
 let name = "grid-aetoe"
+let compile _ = ()
 
 let row_of cfg id = id / cfg.cols
 let col_of cfg id = id mod cfg.cols

@@ -27,6 +27,7 @@ type state = {
 }
 
 let name = "ks09-aetoe"
+let compile _ = ()
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in

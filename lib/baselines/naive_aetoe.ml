@@ -26,6 +26,7 @@ type state = {
 }
 
 let name = "naive-aetoe"
+let compile _ = ()
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in

@@ -13,6 +13,7 @@ type msg = Phase_king.msg
 type state = { pk : Phase_king.t; mutable result : string option }
 
 let name = "phase-king"
+let compile _ = ()
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in

@@ -42,6 +42,7 @@ type state = {
 }
 
 let name = "randomized-ba"
+let compile _ = ()
 
 let tally st k =
   match Hashtbl.find_opt st.tallies k with

@@ -13,26 +13,45 @@ type config = {
   plan : Push_plan.t;  (* inverse of I, for the push fan-out *)
   strict_drop : bool;  (* drop belief-mismatched messages instead of buffering *)
   events : Fba_sim.Events.sink option;  (* phase-marker sink, observation only *)
+  compile : bool;  (* lower the scenario at run start (Compiled) *)
+  mutable compiled : Compiled.t option;  (* built by [compile], at most once *)
 }
 
-let config_of_scenario ?(strict_drop = false) ?events (scenario : Scenario.t) =
+(* FBA_NO_COMPILE flips the default off everywhere at once — the
+   ci-level A/B switch that needs no per-experiment plumbing. *)
+let compile_default () = Sys.getenv_opt "FBA_NO_COMPILE" = None
+
+let config_of_scenario ?(strict_drop = false) ?events ?compile (scenario : Scenario.t) =
   let params = scenario.Scenario.params in
+  let intern = scenario.Scenario.intern in
+  let find s = Intern.find intern s in
   let si = Params.sampler_i params in
   {
     params;
     scenario;
-    intern = scenario.Scenario.intern;
-    qi = Cache.create si;
-    qh = Cache.create (Params.sampler_h params);
-    qj = Cache.create (Params.sampler_j params);
-    plan = Push_plan.create ~sampler:si;
+    intern;
+    qi = Cache.create ~find si;
+    qh = Cache.create ~find (Params.sampler_h params);
+    qj = Cache.create ~find (Params.sampler_j params);
+    plan = Push_plan.create ~find ~sampler:si ();
     strict_drop;
     events;
+    compile = (match compile with Some b -> b | None -> compile_default ());
+    compiled = None;
   }
 
 let config_params c = c.params
 let config_scenario c = c.scenario
 let config_intern c = c.intern
+let config_compiled c = c.compiled
+
+(* The engines call this once per run, before [init]. Idempotent, and
+   inert unless the config opted in; behaviour is identical either way
+   (the parity suite and the determinism goldens pin it), only the
+   lookup machinery changes. *)
+let compile cfg =
+  if cfg.compile && cfg.compiled = None then
+    cfg.compiled <- Some (Compiled.build ~scenario:cfg.scenario ~qi:cfg.qi)
 
 (* Messages live on the packed plane: one immediate int each (Msg.Packed
    layout), with candidate strings and poll labels carried as interner
@@ -42,7 +61,8 @@ type msg = Packed.t
 let pack cfg m = Packed.pack cfg.intern m
 let unpack cfg p = Packed.unpack cfg.intern p
 
-(* Small imperative helpers over Hashtbl-as-set. *)
+(* Small imperative helpers over Hashtbl-as-set (poll answers only —
+   everything else lives in Int_table / position masks below). *)
 let set () : (int, unit) Hashtbl.t = Hashtbl.create 8
 
 let set_add tbl v =
@@ -60,12 +80,18 @@ let set_card = Hashtbl.length
 let key_xs ~x ~sid = (x lsl 13) lor sid
 let key_sx ~sid ~x = (sid lsl 13) lor x
 
-(* Per (s, x) forwarding state of Algorithm 2's second handler. *)
-type fw1_record = {
-  f1_senders : (int, unit) Hashtbl.t;  (* distinct y ∈ H(s,x) seen *)
-  f1_targets : (int, int) Hashtbl.t;  (* verified w ↦ label id *)
-  f1_served : (int, unit) Hashtbl.t;  (* w's already sent an Fw2 *)
-}
+(* Quorum-position sets: a member is identified by its index in the
+   fixed quorum the verifying scan just walked (Cache.pos_sid), so
+   presence is one bit of a 62-bit mask at key [key * 133 + pos / 62]
+   (133 > 8191/62: slots never collide across keys for any d <= n <=
+   8192) and cardinality lives in a parallel counter table. Returns
+   the new cardinality, or -1 if the member was already present —
+   a single table probe either way, no hashing of node ids and no
+   per-element storage. *)
+let mask_add masks counts ~key ~pos =
+  if Int_table.add_bit masks ((key * 133) + (pos / 62)) ~bit:(pos mod 62) then
+    Int_table.incr counts key
+  else -1
 
 (* An outstanding poll of Algorithm 1, with the optional re-poll
    extension state (Params.max_poll_attempts). *)
@@ -82,17 +108,26 @@ type state = {
   mutable cur_round : int;  (* last round seen, for phase-marker stamps *)
   mutable belief : int;  (* s_this, as an interned id *)
   mutable decided_sid : int;  (* -1 while undecided *)
-  candidates : (int, unit) Hashtbl.t;  (* L_x *)
-  push_senders : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  candidates : Int_table.t;  (* L_x: presence keyed by sid *)
+  push_masks : Int_table.t;  (* distinct senders ∈ I(s, this), keyed sid *)
+  push_counts : Int_table.t;
   polls : (int, poll) Hashtbl.t;
-  pulls_seen : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  pull_labels : Int_table.t;  (* presence: (key_xs lsl 20) lor rid *)
+  pull_counts : Int_table.t;
       (* Pull dedup: label ids already routed per (x, s); capped at
          max_poll_attempts to bound the Fw1 amplification *)
-  fw1 : (int, fw1_record) Hashtbl.t;
-  fw2 : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* distinct z ∈ H(s,this) *)
-  polled : (int, unit) Hashtbl.t;  (* Algorithm 3's Polled set *)
-  answer_counts : (int, int ref) Hashtbl.t;  (* Count_s *)
-  answered : (int, unit) Hashtbl.t;
+  fw1_targets : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* Algorithm 2 second handler, per (s, x): verified w ↦ label id.
+         Stays a Hashtbl: its iteration order fixes the serve-all Fw2
+         burst's wire order, which the determinism goldens pin. *)
+  f1s_masks : Int_table.t;  (* distinct y ∈ H(s,x) seen, keyed key_sx *)
+  f1s_counts : Int_table.t;
+  f1_served : Int_table.t;  (* presence: (key_sx lsl 13) lor w *)
+  fw2_masks : Int_table.t;  (* distinct z ∈ H(s,this), keyed key_sx *)
+  fw2_counts : Int_table.t;
+  polled : Int_table.t;  (* Algorithm 3's Polled set: presence, key_xs *)
+  answer_counts : Int_table.t;  (* Count_s, keyed sid *)
+  answered : Int_table.t;  (* presence: key_xs *)
   muted : int Vec.t;  (* answer-ready (s, x) keys gated by the filter *)
   deferred_src : int Vec.t;  (* belief-mismatched messages, parallel lanes *)
   deferred_msg : int Vec.t;
@@ -119,26 +154,16 @@ let mark cfg st name =
   | None -> ()
   | Some k -> Fba_sim.Events.phase k ~round:st.cur_round name
 
-(* [Hashtbl.find] + exception instead of [find_opt]: int-keyed probes
-   stay allocation-free on both hit and miss. *)
-let count_of tbl key =
-  match Hashtbl.find tbl key with c -> set_card c | exception Not_found -> 0
+(* Phase-indexed dispatch table (compiled path): packed tag -> handler,
+   one indexed load instead of the per-message tag comparison chain.
+   Declared ahead of the handler recursion and filled right after it;
+   tags 0 and 7 keep the failing stub. *)
+type handler = config -> state -> emit:(int -> Packed.t -> unit) -> src:int -> Packed.t -> unit
 
-let counter_of tbl key =
-  match Hashtbl.find tbl key with
-  | c -> c
-  | exception Not_found ->
-    let c = set () in
-    Hashtbl.add tbl key c;
-    c
+let invalid_packed : handler =
+ fun _ _ ~emit:_ ~src:_ _ -> invalid_arg "Aer: invalid packed message"
 
-let answer_count st sid =
-  match Hashtbl.find st.answer_counts sid with
-  | r -> r
-  | exception Not_found ->
-    let r = ref 0 in
-    Hashtbl.add st.answer_counts sid r;
-    r
+let handler_table : handler array = Array.make 8 invalid_packed
 
 (* Algorithm 1: poll a fresh random sample and the pull quorum for s.
    Handlers push outgoing messages through [emit] instead of returning
@@ -172,14 +197,14 @@ let issue_poll ?(round = 0) cfg st ~emit sid =
    overloaded node waits until it has decided before answering more. *)
 let try_answer cfg st ~emit sid x =
   if
-    Hashtbl.mem st.polled (key_xs ~x ~sid)
-    && (not (Hashtbl.mem st.answered (key_xs ~x ~sid)))
-    && count_of st.fw2 (key_sx ~sid ~x) >= Params.majority_h cfg.params
+    Int_table.mem st.polled (key_xs ~x ~sid)
+    && (not (Int_table.mem st.answered (key_xs ~x ~sid)))
+    && Int_table.get_or st.fw2_counts (key_sx ~sid ~x) ~default:0 >= Params.majority_h cfg.params
   then begin
-    let cnt = answer_count st sid in
-    if st.decided_sid >= 0 || !cnt < cfg.params.Params.pull_filter then begin
-      incr cnt;
-      Hashtbl.add st.answered (key_xs ~x ~sid) ();
+    let cnt = Int_table.get_or st.answer_counts sid ~default:0 in
+    if st.decided_sid >= 0 || cnt < cfg.params.Params.pull_filter then begin
+      Int_table.set st.answer_counts sid (cnt + 1);
+      ignore (Int_table.add st.answered (key_xs ~x ~sid));
       st.answers_emitted <- st.answers_emitted + 1;
       emit x (Packed.answer ~sid)
     end
@@ -188,13 +213,14 @@ let try_answer cfg st ~emit sid x =
 
 (* Push phase acceptance: s enters L_x on a strict majority of I(s, x). *)
 let rec handle_push cfg st ~emit ~src sid =
-  if st.decided_sid >= 0 || Hashtbl.mem st.candidates sid then ()
+  if st.decided_sid >= 0 || Int_table.mem st.candidates sid then ()
   else begin
     let id = st.ctx.Fba_sim.Ctx.id in
-    if Cache.mem_sid cfg.qi ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src then begin
-      let senders = counter_of st.push_senders sid in
-      if set_add senders src && set_card senders >= Params.majority_i cfg.params then begin
-        Hashtbl.add st.candidates sid ();
+    let pos = Cache.pos_sid cfg.qi ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src in
+    if pos >= 0 then begin
+      let c = mask_add st.push_masks st.push_counts ~key:sid ~pos in
+      if c >= Params.majority_i cfg.params then begin
+        ignore (Int_table.add st.candidates sid);
         issue_poll cfg st ~emit sid
       end
     end
@@ -204,8 +230,7 @@ and handle_poll cfg st ~emit ~src p =
   let sid = Packed.sid p and rid = Packed.rid p in
   let id = st.ctx.Fba_sim.Ctx.id in
   if Cache.mem_rid cfg.qj ~x:src ~rid ~r:(Intern.label cfg.intern rid) ~y:id then begin
-    if not (Hashtbl.mem st.polled (key_xs ~x:src ~sid)) then
-      Hashtbl.add st.polled (key_xs ~x:src ~sid) ();
+    ignore (Int_table.add st.polled (key_xs ~x:src ~sid));
     (* The Fw2 majority may already be in (asynchronous reordering):
        Algorithm 3's Poll handler answers immediately in that case. *)
     try_answer cfg st ~emit sid src
@@ -216,18 +241,14 @@ and handle_pull cfg st ~emit ~src p =
   if sid <> st.belief then defer cfg st ~src p
   else begin
     let rid = Packed.rid p in
-    let labels =
-      match Hashtbl.find st.pulls_seen (key_xs ~x:src ~sid) with
-      | l -> l
-      | exception Not_found ->
-        let l = Hashtbl.create 2 in
-        Hashtbl.add st.pulls_seen (key_xs ~x:src ~sid) l;
-        l
-    in
-    if Hashtbl.mem labels rid || Hashtbl.length labels >= cfg.params.Params.max_poll_attempts
+    let key = key_xs ~x:src ~sid in
+    if
+      Int_table.mem st.pull_labels ((key lsl 20) lor rid)
+      || Int_table.get_or st.pull_counts key ~default:0 >= cfg.params.Params.max_poll_attempts
     then ()
     else begin
-      Hashtbl.add labels rid ();
+      ignore (Int_table.add st.pull_labels ((key lsl 20) lor rid));
+      ignore (Int_table.incr st.pull_counts key);
       let id = st.ctx.Fba_sim.Ctx.id in
       let s = Intern.string cfg.intern sid in
       if Cache.mem_sid cfg.qh ~sid ~s ~x:src ~y:id then begin
@@ -257,44 +278,49 @@ and handle_fw1 cfg st ~emit ~src p =
     let rid = Packed.rid p and x = Packed.x p and w = Packed.w p in
     let id = st.ctx.Fba_sim.Ctx.id in
     let s = Intern.string cfg.intern sid in
-    if
-      Cache.mem_sid cfg.qh ~sid ~s ~x:w ~y:id
-      && Cache.mem_sid cfg.qh ~sid ~s ~x ~y:src
-      && Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:w
-    then begin
-      let rc =
-        match Hashtbl.find st.fw1 (key_sx ~sid ~x) with
-        | rc -> rc
-        | exception Not_found ->
-          let rc = { f1_senders = set (); f1_targets = Hashtbl.create 8; f1_served = set () } in
-          Hashtbl.add st.fw1 (key_sx ~sid ~x) rc;
-          rc
-      in
-      if not (Hashtbl.mem rc.f1_targets w) then Hashtbl.add rc.f1_targets w rid;
-      let newly = set_add rc.f1_senders src in
-      let c = set_card rc.f1_senders in
-      let maj = Params.majority_h cfg.params in
-      if c >= maj then begin
-        mark cfg st "fw2";
-        if newly && c = maj then begin
-          (* Majority just reached: serve every verified target once.
-             The historical Hashtbl.fold consed as it visited, so the
-             wire order is the reverse of visit order — collect into
-             the scratch lanes, then emit back-to-front. *)
-          Vec.clear st.scratch_w;
-          Vec.clear st.scratch_rid;
-          Hashtbl.iter
-            (fun w rid ->
-              if set_add rc.f1_served w then begin
-                Vec.push st.scratch_w w;
-                Vec.push st.scratch_rid rid
-              end)
-            rc.f1_targets;
-          for i = Vec.length st.scratch_w - 1 downto 0 do
-            emit (Vec.get st.scratch_w i) (Packed.fw2 ~sid ~rid:(Vec.get st.scratch_rid i) ~x)
-          done
+    if Cache.mem_sid cfg.qh ~sid ~s ~x:w ~y:id then begin
+      (* The sender verification returns src's position in H(s, x) —
+         the index the sender-set bitmask is keyed by. *)
+      let spos = Cache.pos_sid cfg.qh ~sid ~s ~x ~y:src in
+      if spos >= 0 && Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:w
+      then begin
+        let tkey = key_sx ~sid ~x in
+        let targets =
+          match Hashtbl.find st.fw1_targets tkey with
+          | t -> t
+          | exception Not_found ->
+            let t = Hashtbl.create 8 in
+            Hashtbl.add st.fw1_targets tkey t;
+            t
+        in
+        if not (Hashtbl.mem targets w) then Hashtbl.add targets w rid;
+        let c_new = mask_add st.f1s_masks st.f1s_counts ~key:tkey ~pos:spos in
+        let newly = c_new >= 0 in
+        let c = if newly then c_new else Int_table.get_or st.f1s_counts tkey ~default:0 in
+        let maj = Params.majority_h cfg.params in
+        if c >= maj then begin
+          mark cfg st "fw2";
+          if newly && c = maj then begin
+            (* Majority just reached: serve every verified target once.
+               The historical Hashtbl.fold consed as it visited, so the
+               wire order is the reverse of visit order — collect into
+               the scratch lanes, then emit back-to-front. *)
+            Vec.clear st.scratch_w;
+            Vec.clear st.scratch_rid;
+            Hashtbl.iter
+              (fun w rid ->
+                if Int_table.add st.f1_served ((tkey lsl 13) lor w) then begin
+                  Vec.push st.scratch_w w;
+                  Vec.push st.scratch_rid rid
+                end)
+              targets;
+            for i = Vec.length st.scratch_w - 1 downto 0 do
+              emit (Vec.get st.scratch_w i) (Packed.fw2 ~sid ~rid:(Vec.get st.scratch_rid i) ~x)
+            done
+          end
+          else if Int_table.add st.f1_served ((tkey lsl 13) lor w) then
+            emit w (Packed.fw2 ~sid ~rid ~x)
         end
-        else if set_add rc.f1_served w then emit w (Packed.fw2 ~sid ~rid ~x)
       end
     end
   end
@@ -305,12 +331,12 @@ and handle_fw2 cfg st ~emit ~src p =
   else begin
     let rid = Packed.rid p and x = Packed.x p in
     let id = st.ctx.Fba_sim.Ctx.id in
-    if
-      Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:id
-      && Cache.mem_sid cfg.qh ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src
-    then begin
-      let zs = counter_of st.fw2 (key_sx ~sid ~x) in
-      if set_add zs src then try_answer cfg st ~emit sid x
+    if Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:id then begin
+      let spos = Cache.pos_sid cfg.qh ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src in
+      if spos >= 0 then begin
+        let c = mask_add st.fw2_masks st.fw2_counts ~key:(key_sx ~sid ~x) ~pos:spos in
+        if c >= 0 then try_answer cfg st ~emit sid x
+      end
     end
   end
 
@@ -360,14 +386,29 @@ and defer cfg st ~src m =
   end
 
 and dispatch cfg st ~emit ~src p =
-  let tag = Packed.tag p in
-  if tag = Packed.tag_push then handle_push cfg st ~emit ~src (Packed.sid p)
-  else if tag = Packed.tag_poll then handle_poll cfg st ~emit ~src p
-  else if tag = Packed.tag_pull then handle_pull cfg st ~emit ~src p
-  else if tag = Packed.tag_fw1 then handle_fw1 cfg st ~emit ~src p
-  else if tag = Packed.tag_fw2 then handle_fw2 cfg st ~emit ~src p
-  else if tag = Packed.tag_answer then handle_answer cfg st ~emit ~src (Packed.sid p)
-  else invalid_arg "Aer: invalid packed message"
+  match cfg.compiled with
+  | Some _ ->
+    (* Compiled: tag-indexed jump (tag <= 7, table has 8 slots). *)
+    (Array.unsafe_get handler_table (Packed.tag p)) cfg st ~emit ~src p
+  | None ->
+    let tag = Packed.tag p in
+    if tag = Packed.tag_push then handle_push cfg st ~emit ~src (Packed.sid p)
+    else if tag = Packed.tag_poll then handle_poll cfg st ~emit ~src p
+    else if tag = Packed.tag_pull then handle_pull cfg st ~emit ~src p
+    else if tag = Packed.tag_fw1 then handle_fw1 cfg st ~emit ~src p
+    else if tag = Packed.tag_fw2 then handle_fw2 cfg st ~emit ~src p
+    else if tag = Packed.tag_answer then handle_answer cfg st ~emit ~src (Packed.sid p)
+    else invalid_arg "Aer: invalid packed message"
+
+let () =
+  handler_table.(Packed.tag_push) <-
+    (fun cfg st ~emit ~src p -> handle_push cfg st ~emit ~src (Packed.sid p));
+  handler_table.(Packed.tag_poll) <- handle_poll;
+  handler_table.(Packed.tag_pull) <- handle_pull;
+  handler_table.(Packed.tag_fw1) <- handle_fw1;
+  handler_table.(Packed.tag_fw2) <- handle_fw2;
+  handler_table.(Packed.tag_answer) <-
+    (fun cfg st ~emit ~src p -> handle_answer cfg st ~emit ~src (Packed.sid p))
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in
@@ -380,15 +421,21 @@ let init cfg ctx =
       cur_round = 0;
       belief = sid0;
       decided_sid = -1;
-      candidates = Hashtbl.create 8;
-      push_senders = Hashtbl.create 8;
+      candidates = Int_table.create ();
+      push_masks = Int_table.create ();
+      push_counts = Int_table.create ();
       polls = Hashtbl.create 8;
-      pulls_seen = Hashtbl.create 32;
-      fw1 = Hashtbl.create 32;
-      fw2 = Hashtbl.create 32;
-      polled = Hashtbl.create 32;
-      answer_counts = Hashtbl.create 8;
-      answered = Hashtbl.create 32;
+      pull_labels = Int_table.create ~capacity:32 ();
+      pull_counts = Int_table.create ~capacity:32 ();
+      fw1_targets = Hashtbl.create 32;
+      f1s_masks = Int_table.create ~capacity:64 ();
+      f1s_counts = Int_table.create ~capacity:32 ();
+      f1_served = Int_table.create ~capacity:64 ();
+      fw2_masks = Int_table.create ();
+      fw2_counts = Int_table.create ();
+      polled = Int_table.create ~capacity:32 ();
+      answer_counts = Int_table.create ();
+      answered = Int_table.create ~capacity:32 ();
       muted = Vec.create ();
       deferred_src = Vec.create ();
       deferred_msg = Vec.create ();
@@ -398,16 +445,25 @@ let init cfg ctx =
       answers_emitted = 0;
     }
   in
-  Hashtbl.add st.candidates sid0 ();
+  ignore (Int_table.add st.candidates sid0);
   mark cfg st "push";
   let acc = ref [] in
   let emit dst m = acc := (dst, m) :: !acc in
   let push_msg = Packed.push ~sid:sid0 in
-  let targets = Push_plan.targets cfg.plan ~s:s0 ~y:id in
-  for i = 0 to Array.length targets - 1 do
-    emit targets.(i) push_msg
-  done;
-  st.push_sent <- Array.length targets;
+  (match cfg.compiled with
+  | Some cp ->
+    (* The compiled CSR row is Push_plan.targets, precomputed. *)
+    let lo = Compiled.push_start cp ~y:id and hi = Compiled.push_stop cp ~y:id in
+    for i = lo to hi - 1 do
+      emit (Compiled.push_target cp i) push_msg
+    done;
+    st.push_sent <- hi - lo
+  | None ->
+    let targets = Push_plan.targets cfg.plan ~s:s0 ~y:id in
+    for i = 0 to Array.length targets - 1 do
+      emit targets.(i) push_msg
+    done;
+    st.push_sent <- Array.length targets);
   issue_poll cfg st ~emit sid0;
   (st, List.rev !acc)
 
@@ -451,14 +507,22 @@ let on_receive cfg st ~round ~src m =
 
 let output st = if st.decided_sid < 0 then None else Some (Intern.string st.intern st.decided_sid)
 
-let msg_bits cfg m = Packed.bits cfg.params cfg.intern m
+let msg_bits cfg m =
+  match cfg.compiled with
+  | Some cp -> Compiled.bits cp m
+  | None -> Packed.bits cfg.params cfg.intern m
 
 let pp_msg (cfg : config) = Packed.pp cfg.intern
 
 let belief st = Intern.string st.intern st.belief
 let decided st = output st
-let candidates st = Hashtbl.fold (fun sid () acc -> Intern.string st.intern sid :: acc) st.candidates []
-let candidate_count st = Hashtbl.length st.candidates
+
+let candidates st =
+  let acc = ref [] in
+  Int_table.iter (fun sid _ -> acc := Intern.string st.intern sid :: !acc) st.candidates;
+  !acc
+
+let candidate_count st = Int_table.length st.candidates
 let push_messages_sent st = st.push_sent
 let deferred_count st = Vec.length st.deferred_msg
 let answers_sent st = st.answers_emitted

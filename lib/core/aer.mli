@@ -27,7 +27,8 @@
 
 type config
 
-val config_of_scenario : ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> Scenario.t -> config
+val config_of_scenario :
+  ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> ?compile:bool -> Scenario.t -> config
 (** Shared immutable setup (samplers, memoized quorums, initial
     candidate assignment). The same value must be used for every node
     of an execution — quorum caches inside are shared deliberately.
@@ -37,10 +38,19 @@ val config_of_scenario : ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> Sce
     shows why we buffer. [events] receives {!Fba_sim.Events.Phase}
     markers at the protocol's natural transitions (push → poll → fw1 →
     fw2); pass the same sink to the engine to interleave them with the
-    message events. Markers never alter protocol behaviour. *)
+    message events. Markers never alter protocol behaviour. [compile]
+    (default: on unless the [FBA_NO_COMPILE] environment variable is
+    set) lets the engines lower the scenario into flat dispatch tables
+    ({!Compiled}) before the run; on or off, executions are
+    byte-identical — the switch exists for the parity harness and
+    A/B measurements. *)
 
 val config_params : config -> Params.t
 val config_scenario : config -> Scenario.t
+
+val config_compiled : config -> Compiled.t option
+(** The lowered run structure, once {!Fba_sim.Protocol.S.compile} has
+    run on a config created with [~compile:true] ([None] otherwise). *)
 
 val config_intern : config -> Intern.t
 (** The scenario's interner — the same value as

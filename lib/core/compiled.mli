@@ -1,0 +1,48 @@
+(** The scenario compiler: lower a run's static structure into flat
+    per-node dispatch tables.
+
+    Samplers, quorum memberships and the wire-format accounting are
+    all fixed the moment the scenario exists; the delivery path used
+    to re-derive them through lazy hash tables anyway. {!build} runs
+    once per execution (the engines call {!Fba_sim.Protocol.S.compile}
+    before [init]) and produces:
+
+    - the push fan-out in CSR form — per-node edge arrays holding
+      exactly {!Fba_samplers.Push_plan.targets} for every correct
+      node, built in one flat pass per distinct initial string;
+    - warm push-quorum rows: every [I(s, x)] row the push phase will
+      consult is drawn during the build and donated to the lazy cache
+      ({!Fba_samplers.Cache.seed_sid_row}), so delivery-time
+      membership tests are pure array walks;
+    - wire-size tables — [bits] becomes two array loads instead of a
+      per-message [ceil_log2] and string-length computation.
+
+    The lazy caches remain the fallback for runtime-dependent keys
+    (poll labels, adversarial strings) and the oracle the parity tests
+    compare against. Compilation never touches the interner and draws
+    only quorums the dynamic path would draw anyway, so a compiled run
+    is byte-identical to an uncompiled one. *)
+
+type t
+
+val build : scenario:Scenario.t -> qi:Fba_samplers.Cache.t -> t
+(** Lower [scenario]. [qi] must be the run's push-quorum cache (its
+    sampler is the build's row source and it receives the warm rows). *)
+
+val n : t -> int
+
+val push_start : t -> y:int -> int
+val push_stop : t -> y:int -> int
+
+val push_target : t -> int -> int
+(** [push_target t i] for [push_start <= i < push_stop] walks node
+    [y]'s push targets in ascending order. *)
+
+val push_targets : t -> y:int -> int array
+(** Fresh array of node [y]'s targets (tests and diagnostics; the hot
+    path iterates the CSR in place). *)
+
+val bits : t -> Msg.Packed.t -> int
+(** Wire size of a packed message — agrees exactly with
+    {!Msg.Packed.bits} (and so with {!Msg.bits}); strings interned
+    after compilation are measured and memoized on first sight. *)

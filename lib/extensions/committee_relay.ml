@@ -75,6 +75,7 @@ type state = {
 }
 
 let name = "committee-relay"
+let compile _ = ()
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in

@@ -54,6 +54,7 @@ type config = {
   phase_acc : Fba_sim.Events.Phase_acc.t option;
   flood : bool;
   net : Fba_sim.Net.spec;
+  compile : bool;  (* lower the scenario before the run (Compiled) *)
 }
 
 let default_config =
@@ -65,6 +66,9 @@ let default_config =
     phase_acc = None;
     flood = false;
     net = Fba_sim.Net.Reliable;
+    (* On unless FBA_NO_COMPILE is set — the same A/B switch
+       Aer.config_of_scenario defaults to, read once per config. *)
+    compile = Sys.getenv_opt "FBA_NO_COMPILE" = None;
   }
 
 type aer_run = {
@@ -106,7 +110,7 @@ let phase_rows = function
 
 let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
   let events = wire_phase_acc config.events config.phase_acc in
-  let cfg = Aer.config_of_scenario ?events sc in
+  let cfg = Aer.config_of_scenario ?events ~compile:config.compile sc in
   let n = Scenario.(sc.params.Params.n) in
   (* Re-polling nodes wake up after repoll_timeout idle rounds; the
      quiescence cutoff must not fire before then. *)
@@ -131,7 +135,7 @@ let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
 
 let aer_async ?(config = default_config) ~adversary (sc : Scenario.t) =
   let events = wire_phase_acc config.events config.phase_acc in
-  let cfg = Aer.config_of_scenario ?events sc in
+  let cfg = Aer.config_of_scenario ?events ~compile:config.compile sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
     Aer_async.run ?events ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed

@@ -48,6 +48,13 @@ type config = {
           byte-identical to the pre-layer engines; anything else is an
           off-model robustness condition (see {!Fba_sim.Net} and
           {!Exp_robustness}). *)
+  compile : bool;
+      (** lower the scenario into flat dispatch tables
+          ({!Fba_core.Compiled}) before the run. Default: on unless the
+          [FBA_NO_COMPILE] environment variable is set. On or off the
+          execution is byte-identical (the compiled plane only replaces
+          the lookup machinery); the switch exists for the parity
+          harness and for A/B perf measurements. *)
 }
 
 val default_config : config

@@ -7,11 +7,15 @@ let unset : int array = [||]
 
 type t = {
   sampler : Sampler.t;
-  (* I/H-shaped quorums: one dense row of per-x slots per string. A
-     lookup is a string-hash plus an array index — no (s, x) tuple, no
-     int64 arithmetic, no allocation on the hit path. The row costs
-     n + 1 words per distinct string, bounded by the handful of
-     candidate strings a run ever sees. *)
+  (* Optional string -> interned-id resolver (non-registering). When
+     present, the dense sid-indexed rows below are the primary store
+     and the string table only holds strings the interner has never
+     seen (adversary probing); without it, the string table is primary
+     and [by_sid] mirrors it, as before the interned-id port. *)
+  find : (string -> int) option;
+  (* I/H-shaped quorums for strings outside the interner (or all
+     strings when [find] is absent): one dense row of per-x slots per
+     string. A lookup is a string-hash plus an array index. *)
   sx : (string, int array array) Hashtbl.t;
   (* J-shaped quorums: open-addressing int64 table keyed by
      [salt.(x) lxor r]. The salt is a finished per-x hash, so keys are
@@ -26,22 +30,27 @@ type t = {
   mutable flat_xr : int array;
   mutable flat_count : int;
   xr_off : int I64_table.t;
-  (* Interned-id mirrors of the two key spaces. [by_sid] indexes the
-     same dense rows by string id — a lookup is two array loads, no
-     string hashing at all; [xr_rid] keys J-quorums by the immediate
-     [(x lsl 20) lor rid], avoiding the boxed-int64 arithmetic of
-     [key_xr] on every membership test. Both caches share the quorum
-     arrays with their string/int64 twins, so answers are identical
-     whichever keying a caller uses. *)
+  (* Interned-id keyings. [by_sid] indexes dense rows by string id — a
+     lookup is two array loads, no string hashing at all. For J-quorums
+     the label id itself is the index: labels are drawn fresh per poll,
+     so one rid almost always belongs to one poller [x] and
+     [rid_x]/[rid_rows] resolve the quorum in two array loads with
+     zero hashing; the rare adversarial reuse of a label across
+     pollers falls back to [xr_rid], the legacy (x, rid)-keyed table.
+     All keyings share the quorum arrays, so answers are identical
+     whichever one a caller uses. *)
   mutable by_sid : int array array array;
+  mutable rid_x : int array;  (* rid -> owning x, -1 = empty *)
+  mutable rid_rows : int array array;
   xr_rid : (int, int array) Hashtbl.t;
 }
 
 let no_row : int array array = [||]
 
-let create sampler =
+let create ?find sampler =
   {
     sampler;
+    find;
     sx = Hashtbl.create 64;
     xr = I64_table.create ();
     salt = Array.init (Sampler.n sampler) (fun x -> Sampler.key_xr sampler ~x ~r:0L);
@@ -49,6 +58,8 @@ let create sampler =
     flat_count = 0;
     xr_off = I64_table.create ();
     by_sid = [||];
+    rid_x = [||];
+    rid_rows = [||];
     xr_rid = Hashtbl.create 64;
   }
 
@@ -56,13 +67,47 @@ let sampler t = t.sampler
 
 let key_xr t ~x ~r = Int64.logxor t.salt.(x) r
 
-let row t s =
+let string_row t s =
   match Hashtbl.find t.sx s with
   | row -> row
   | exception Not_found ->
     let row = Array.make (Sampler.n t.sampler) unset in
     Hashtbl.add t.sx s row;
     row
+
+(* The sid view. With a resolver the row is allocated here (sid-primary
+   store); without one it is the very same array the string table uses,
+   so the two views can never disagree. [s] is only read on a cold sid
+   of a resolver-less cache. *)
+let row_sid t ~sid ~s =
+  if sid >= Array.length t.by_sid then begin
+    let grown = Array.make (max (sid + 1) (2 * Array.length t.by_sid)) no_row in
+    Array.blit t.by_sid 0 grown 0 (Array.length t.by_sid);
+    t.by_sid <- grown
+  end;
+  let r = t.by_sid.(sid) in
+  if r != no_row then r
+  else begin
+    let r =
+      match t.find with
+      | Some _ -> Array.make (Sampler.n t.sampler) unset
+      | None -> string_row t s
+    in
+    t.by_sid.(sid) <- r;
+    r
+  end
+
+(* String-keyed entry point: route through the sid store whenever the
+   interner knows the string, keeping the string table cold. A string
+   that gets interned *after* being cached here ends up with two rows;
+   both fill lazily from the same sampler, so they hold identical
+   values and only duplicate storage, never answers. *)
+let row t s =
+  match t.find with
+  | None -> string_row t s
+  | Some f ->
+    let sid = f s in
+    if sid >= 0 then row_sid t ~sid ~s else string_row t s
 
 let quorum_sx t ~s ~x =
   let row = row t s in
@@ -94,28 +139,18 @@ let rec mem_scan a y i stop = i < stop && (a.(i) = y || mem_scan a y (i + 1) sto
 
 let mem_array a y = mem_scan a y 0 (Array.length a)
 
+(* Position-returning scan: handlers that record set membership by
+   quorum position get the index from the same walk the verification
+   already pays for. *)
+let rec pos_scan a y i stop =
+  if i >= stop then -1 else if Array.unsafe_get a i = y then i else pos_scan a y (i + 1) stop
+
+let pos_array a y = pos_scan a y 0 (Array.length a)
+
 (* Membership caches the full quorum on a miss: protocol handlers test
    the same key many times, so one O(d)-hash evaluation up front beats
    repeated early-exit draws. The scan itself early-exits on [y]. *)
 let mem_sx t ~s ~x ~y = mem_array (quorum_sx t ~s ~x) y
-
-(* --- Interned-id keying. The sid table points at the very same rows
-   the string table uses ([row t s] on first touch), so the two views
-   can never disagree; [s] is only read on a cold sid. --- *)
-
-let row_sid t ~sid ~s =
-  if sid >= Array.length t.by_sid then begin
-    let grown = Array.make (max (sid + 1) (2 * Array.length t.by_sid)) no_row in
-    Array.blit t.by_sid 0 grown 0 (Array.length t.by_sid);
-    t.by_sid <- grown
-  end;
-  let r = t.by_sid.(sid) in
-  if r != no_row then r
-  else begin
-    let r = row t s in
-    t.by_sid.(sid) <- r;
-    r
-  end
 
 let quorum_sid t ~sid ~s ~x =
   let row = row_sid t ~sid ~s in
@@ -129,9 +164,18 @@ let quorum_sid t ~sid ~s ~x =
 
 let mem_sid t ~sid ~s ~x ~y = mem_array (quorum_sid t ~sid ~s ~x) y
 
+let pos_sid t ~sid ~s ~x ~y = pos_array (quorum_sid t ~sid ~s ~x) y
+
+let seed_sid_row t ~sid ~s ~x q =
+  let row = row_sid t ~sid ~s in
+  if row.(x) == unset then row.(x) <- q
+
 let key_rid ~x ~rid = (x lsl 20) lor rid
 
-let quorum_rid t ~x ~rid ~r =
+(* Legacy (x, rid)-keyed path, now only the fallback for labels reused
+   across pollers (and the oracle the rid-dense index is checked
+   against in tests). *)
+let quorum_rid_tbl t ~x ~rid ~r =
   let key = key_rid ~x ~rid in
   match Hashtbl.find t.xr_rid key with
   | q -> q
@@ -140,7 +184,31 @@ let quorum_rid t ~x ~rid ~r =
     Hashtbl.add t.xr_rid key q;
     q
 
+let quorum_rid_slow t ~x ~rid ~r =
+  if rid >= Array.length t.rid_x then begin
+    let cap = max (rid + 1) (max 1024 (2 * Array.length t.rid_x)) in
+    let gx = Array.make cap (-1) and gq = Array.make cap unset in
+    Array.blit t.rid_x 0 gx 0 (Array.length t.rid_x);
+    Array.blit t.rid_rows 0 gq 0 (Array.length t.rid_rows);
+    t.rid_x <- gx;
+    t.rid_rows <- gq
+  end;
+  if t.rid_x.(rid) = -1 then begin
+    let q = quorum_xr t ~x ~r in
+    t.rid_x.(rid) <- x;
+    t.rid_rows.(rid) <- q;
+    q
+  end
+  else quorum_rid_tbl t ~x ~rid ~r
+
+let quorum_rid t ~x ~rid ~r =
+  if rid < Array.length t.rid_x && Array.unsafe_get t.rid_x rid = x then
+    Array.unsafe_get t.rid_rows rid
+  else quorum_rid_slow t ~x ~rid ~r
+
 let mem_rid t ~x ~rid ~r ~y = mem_array (quorum_rid t ~x ~rid ~r) y
+
+let pos_rid t ~x ~rid ~r ~y = pos_array (quorum_rid t ~x ~rid ~r) y
 
 let mem_flat t off ~y = mem_scan t.flat_xr y off (off + Sampler.d t.sampler)
 

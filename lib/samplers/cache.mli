@@ -17,7 +17,14 @@
 
 type t
 
-val create : Sampler.t -> t
+val create : ?find:(string -> int) -> Sampler.t -> t
+(** [find] is a non-registering string -> interned-id resolver
+    (e.g. [Fba_core.Intern.find]), returning [-1] for unknown strings.
+    When supplied, the dense sid-indexed rows are the primary store and
+    even string-keyed lookups route through them, leaving the string
+    table to hold only strings the interner has never seen; without it
+    the cache behaves as before the interned-id port (string table
+    primary, sid rows sharing its arrays). *)
 
 val sampler : t -> Sampler.t
 
@@ -47,12 +54,30 @@ val quorum_sid : t -> sid:int -> s:string -> x:int -> int array
 
 val mem_sid : t -> sid:int -> s:string -> x:int -> y:int -> bool
 
+val pos_sid : t -> sid:int -> s:string -> x:int -> y:int -> int
+(** Index of [y] in the cached quorum (draw order), or [-1] if absent.
+    Positions are stable for a fixed (sid, x): handlers use them to
+    record set membership as quorum-position bits instead of hashed
+    node ids. Same cost as {!mem_sid} (one early-exit scan). *)
+
+val seed_sid_row : t -> sid:int -> s:string -> x:int -> int array -> unit
+(** Install a precomputed quorum into the (sid, x) slot (no-op if the
+    slot is already filled). The array must equal
+    [Sampler.quorum_sx (sampler t) ~s ~x] — the compile step uses this
+    to donate rows it has already drawn, and ownership of the array
+    transfers to the cache. *)
+
 val quorum_rid : t -> x:int -> rid:int -> r:int64 -> int array
 (** Cached J-quorum keyed by [(x, rid)]; [r] must be the label whose
     interned id is [rid] (read only on a cold key). Requires
-    [x < 2^13] (the packed identity width). *)
+    [x < 2^13] (the packed identity width). Hot lookups are rid-dense:
+    two array loads, no hashing; a label reused across distinct
+    pollers (adversarial echo) falls back to the legacy keyed table. *)
 
 val mem_rid : t -> x:int -> rid:int -> r:int64 -> y:int -> bool
+
+val pos_rid : t -> x:int -> rid:int -> r:int64 -> y:int -> int
+(** Position analogue of {!mem_rid}; [-1] if absent. *)
 
 val precompute_xr : t -> (int * int64) list -> unit
 (** Materialize the poll lists J(x, r) for every listed (x, r) into the

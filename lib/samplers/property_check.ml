@@ -73,7 +73,7 @@ let worst_completion_search sampler ~good ~rng ~tries ~prefix ~free_bits =
   (!best_s, !best_frac)
 
 let overload_factor sampler ~strings =
-  let plan = Push_plan.create ~sampler in
+  let plan = Push_plan.create ~sampler () in
   let worst =
     List.fold_left (fun acc s -> max acc (Push_plan.max_load plan ~s)) 0 strings
   in

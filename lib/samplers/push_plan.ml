@@ -1,27 +1,54 @@
 type entry = { inverse : int array array; load : int array }
 
-type t = { sampler : Sampler.t; memo : (string, entry) Hashtbl.t }
+(* Physical sentinel for unevaluated sid slots (an entry with an empty
+   inverse can only arise at n = 0, which Sampler rejects). *)
+let no_entry = { inverse = [||]; load = [||] }
 
-let create ~sampler = { sampler; memo = Hashtbl.create 17 }
+type t = {
+  sampler : Sampler.t;
+  find : (string -> int) option;
+  memo : (string, entry) Hashtbl.t;  (* strings outside the interner *)
+  mutable by_sid : entry array;  (* interned strings: sid -> entry *)
+  mutable sid_count : int;
+  mutable scratch : int array;  (* one n*d quorum slab, reused per build *)
+}
+
+let create ?find ~sampler () =
+  { sampler; find; memo = Hashtbl.create 17; by_sid = [||]; sid_count = 0; scratch = [||] }
 
 let sampler t = t.sampler
 
+(* Flat two-pass build: draw all n quorums once into the shared
+   scratch slab (allocation-free draws), count per-node loads, then
+   fill exactly-sized inverse rows. Replaces the historical per-member
+   cons lists, whose garbage dominated large-n runs; row order is
+   unchanged (x ascending — each y appears at most once per quorum, so
+   the fill pass visits y's targets in the same sequence the reversed
+   cons lists produced). *)
 let build t s =
-  let n = Sampler.n t.sampler in
-  let buckets = Array.make n [] in
+  let n = Sampler.n t.sampler and d = Sampler.d t.sampler in
+  if Array.length t.scratch < n * d then t.scratch <- Array.make (n * d) 0;
+  let scratch = t.scratch in
   let load = Array.make n 0 in
   for x = 0 to n - 1 do
-    let q = Sampler.quorum_sx t.sampler ~s ~x in
-    Array.iter
-      (fun y ->
-        buckets.(y) <- x :: buckets.(y);
-        load.(y) <- load.(y) + 1)
-      q
+    Sampler.quorum_into t.sampler (Sampler.key_sx t.sampler ~s ~x) scratch ~pos:(x * d);
+    for j = x * d to ((x + 1) * d) - 1 do
+      let y = Array.unsafe_get scratch j in
+      load.(y) <- load.(y) + 1
+    done
   done;
-  let inverse = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  let inverse = Array.init n (fun y -> Array.make load.(y) 0) in
+  let next = Array.make n 0 in
+  for x = 0 to n - 1 do
+    for j = x * d to ((x + 1) * d) - 1 do
+      let y = Array.unsafe_get scratch j in
+      inverse.(y).(next.(y)) <- x;
+      next.(y) <- next.(y) + 1
+    done
+  done;
   { inverse; load }
 
-let entry t s =
+let memo_entry t s =
   match Hashtbl.find_opt t.memo s with
   | Some e -> e
   | None ->
@@ -29,10 +56,35 @@ let entry t s =
     Hashtbl.add t.memo s e;
     e
 
+(* Interned strings memoize in the dense sid slot (no string hashing
+   after first touch); only strings the interner has never seen fall
+   back to the string-keyed table. *)
+let entry t s =
+  match t.find with
+  | None -> memo_entry t s
+  | Some f ->
+    let sid = f s in
+    if sid < 0 then memo_entry t s
+    else begin
+      if sid >= Array.length t.by_sid then begin
+        let grown = Array.make (max (sid + 1) (2 * Array.length t.by_sid)) no_entry in
+        Array.blit t.by_sid 0 grown 0 (Array.length t.by_sid);
+        t.by_sid <- grown
+      end;
+      let e = t.by_sid.(sid) in
+      if e != no_entry then e
+      else begin
+        let e = build t s in
+        t.by_sid.(sid) <- e;
+        t.sid_count <- t.sid_count + 1;
+        e
+      end
+    end
+
 let targets t ~s ~y = (entry t s).inverse.(y)
 
 let quorum t ~s ~x = Sampler.quorum_sx t.sampler ~s ~x
 
 let max_load t ~s = Array.fold_left max 0 (entry t s).load
 
-let distinct_strings t = Hashtbl.length t.memo
+let distinct_strings t = Hashtbl.length t.memo + t.sid_count

@@ -15,7 +15,12 @@
 
 type t
 
-val create : sampler:Sampler.t -> t
+val create : ?find:(string -> int) -> sampler:Sampler.t -> unit -> t
+(** [find] is a non-registering string -> interned-id resolver
+    ([Fba_core.Intern.find]): with it, entries for interned strings
+    memoize in a dense sid-indexed slot (no string hashing after first
+    touch); strings the interner has never seen use the string-keyed
+    table either way. *)
 
 val sampler : t -> Sampler.t
 

@@ -115,6 +115,7 @@ module Make (P : Protocol.S) = struct
   }
 
   let create ?events ~net ~config ~n ~seed ~corrupted () =
+    P.compile config;
     {
       n;
       config;

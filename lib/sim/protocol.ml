@@ -19,6 +19,14 @@ module type S = sig
 
   val name : string
 
+  val compile : config -> unit
+  (** One-time lowering hook, called by the engines once per run before
+      the first [init]. Protocols with a static-structure compiler
+      (e.g. {!Fba_core.Compiled}) build their dispatch tables here;
+      must be idempotent (engines sharing a config may call it more
+      than once) and must not change observable behaviour. Protocols
+      without a compile step implement it as [fun _ -> ()]. *)
+
   val init : config -> Ctx.t -> state * (int * msg) list
   (** Create the node and return its round-0 sends as
       [(destination, message)] pairs. *)

@@ -61,6 +61,8 @@ module Traced (P : Protocol.S) = struct
 
   let name = P.name ^ "-traced"
 
+  let compile (cfg, _) = P.compile cfg
+
   let init (cfg, _) ctx = P.init cfg ctx
 
   let on_round (cfg, _) st ~round = P.on_round cfg st ~round

@@ -1,0 +1,47 @@
+(** Open-addressing [int -> int] hash table — the immediate-key twin
+    of {!I64_table}.
+
+    Keys are non-negative packed identifiers (interned ids, packed
+    (x, s) pairs, bitmask slots); [-1] marks an empty slot, so the
+    table is two unboxed int arrays with no occupancy side plane and
+    no allocation on any operation except growth. The protocol's
+    per-node sets and counters use it in place of [Hashtbl], whose
+    per-probe hashing and per-binding bucket cons dominate the message
+    delivery path at sweep sizes. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty table; [capacity] (default 16) rounds up to a power of two. *)
+
+val length : t -> int
+(** Number of distinct keys present. *)
+
+val mem : t -> int -> bool
+
+val get_or : t -> int -> default:int -> int
+(** Value bound to the key, or [default] if absent. Allocation-free. *)
+
+val set : t -> int -> int -> unit
+(** Bind (or rebind) the key. Raises [Invalid_argument] on a negative
+    key. *)
+
+val add : t -> int -> bool
+(** Set-flavoured insert: [true] iff the key was absent (it is bound
+    to [0]). One probe; the membership test and the insertion share it. *)
+
+val incr : t -> int -> int
+(** Bump the key's counter in place (absent counts as 0) and return
+    the new value. *)
+
+val add_bit : t -> int -> bit:int -> bool
+(** Treat the key's value as a presence mask: set bit [bit]
+    (0 ≤ bit < 62) and return [true] iff it was clear. One probe.
+    Together with a counter kept via {!incr} this represents sets of
+    quorum positions without per-element storage. *)
+
+val clear : t -> unit
+(** Remove every binding, keeping the storage. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Iterate bindings in unspecified (slot) order. *)

@@ -69,6 +69,21 @@ else
   exit 1
 fi
 
+# Compiled-dispatch parity smoke: the scenario compiler must be
+# behaviour-invisible end to end. One experiment run with the compile
+# step disabled (FBA_NO_COMPILE=1) must be byte-identical to the
+# default compiled run; the full parity evidence is the
+# compiled.parity qcheck suite plus the determinism goldens.
+dune exec bench/main.exe -- fig1a --jobs 2 > "$seq_out"
+FBA_NO_COMPILE=1 dune exec bench/main.exe -- fig1a --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "compile parity smoke ok: FBA_NO_COMPILE=1 output identical"
+else
+  echo "compile parity smoke FAILED: compiled run differs from dynamic run" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
 # Perf gate: the cornering perf target must stay close to the most
 # recent recorded BENCH_<rev>.json baseline. Two checks share one
 # measurement (perf-target --record writes it as a one-target

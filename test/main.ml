@@ -15,6 +15,7 @@ let () =
          Test_harness.suites;
          Test_props.suites;
          Test_packed.suites;
+         Test_compiled.suites;
          Test_determinism.suites;
          Test_net.suites;
        ])

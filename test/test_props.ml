@@ -143,7 +143,7 @@ let prop_push_plan_inverse =
     QCheck2.Gen.(pair seed_gen (small_string ~gen:printable))
     (fun (seed, s) ->
       let sampler = Fba_samplers.Sampler.create ~seed ~n:64 ~d:6 in
-      let plan = Fba_samplers.Push_plan.create ~sampler in
+      let plan = Fba_samplers.Push_plan.create ~sampler () in
       let ok = ref true in
       for y = 0 to 63 do
         let targets = Fba_samplers.Push_plan.targets plan ~s ~y in

@@ -93,7 +93,7 @@ let test_cache_returns_shared () =
 
 let test_push_plan_inverse () =
   let s = sampler ~n:64 ~d:8 () in
-  let plan = Push_plan.create ~sampler:s in
+  let plan = Push_plan.create ~sampler:s () in
   let str = "gstring" in
   (* y ∈ I(s, x) iff x ∈ targets(s, y). *)
   for x = 0 to 63 do
