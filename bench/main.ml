@@ -36,7 +36,11 @@
                    [--metric time|alloc|both]
                    (print per-target time/allocation deltas between two
                    BENCH_<rev>.json files; with --tol, exit non-zero if
-                   any gated metric regressed beyond PCT percent) *)
+                   any gated metric regressed beyond PCT percent)
+          main.exe history [--json]
+                   (scan ./BENCH_*.json, order by git commit date, and
+                   render each target's time/allocation trajectory
+                   across revisions) *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -266,7 +270,12 @@ let run_compare base_path new_path ~tol ~metric =
       match List.find_opt (fun (n, _, _) -> n = name) curr with
       | None ->
         one_sided := Printf.sprintf "target %S is in %s but not in %s" name base_path new_path :: !one_sided;
-        Fba_stdx.Table.add_row tbl [ name; "-"; "dropped"; "-"; "dropped" ]
+        (* Union row with the side that does exist: the baseline values,
+           marked [removed], so a renamed benchmark's last numbers stay
+           on the table instead of vanishing. *)
+        Fba_stdx.Table.add_row tbl
+          [ name; Printf.sprintf "%.2f ms" (bt /. 1e6); "removed"; Printf.sprintf "%.0f" bw;
+            "removed" ]
       | Some (_, nt, nw) ->
         let dt = pct nt bt and dw = pct nw bw in
         Fba_stdx.Table.add_row tbl
@@ -287,10 +296,12 @@ let run_compare base_path new_path ~tol ~metric =
         | None -> ()))
     base;
   List.iter
-    (fun (name, _, _) ->
+    (fun (name, nt, nw) ->
       if not (List.exists (fun (n, _, _) -> n = name) base) then begin
         one_sided := Printf.sprintf "target %S is in %s but not in %s" name new_path base_path :: !one_sided;
-        Fba_stdx.Table.add_row tbl [ name; "-"; "new"; "-"; "new" ]
+        Fba_stdx.Table.add_row tbl
+          [ name; Printf.sprintf "%.2f ms" (nt /. 1e6); "new"; Printf.sprintf "%.0f" nw;
+            "new" ]
       end)
     curr;
   Fba_stdx.Table.print tbl;
@@ -307,6 +318,130 @@ let run_compare base_path new_path ~tol ~metric =
   | fs ->
     List.iter (fun f -> Printf.eprintf "compare gate FAILED: %s\n" f) (List.rev fs);
     exit 1
+
+(* --- bench history: per-target trajectory across checked-in BENCH files --- *)
+
+let git_commit_time rev =
+  let cmd = Printf.sprintf "git show -s --format=%%ct %s 2>/dev/null" (Filename.quote rev) in
+  match Unix.open_process_in cmd with
+  | ic ->
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> int_of_string_opt line
+    | _ -> None)
+  | exception _ -> None
+
+(* Every [perf --json] run leaves a BENCH_<rev>.json behind; lining
+   them up in commit order turns the point-to-point compare gate into
+   a trajectory — where each target's time and allocation have been
+   heading across the stacked PRs. *)
+let run_history ~json () =
+  let files =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > String.length "BENCH_.json"
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    prerr_endline "bench history: no BENCH_*.json files in the current directory";
+    exit 2
+  end;
+  let rev_of f =
+    let stem = Filename.chop_suffix f ".json" in
+    String.sub stem 6 (String.length stem - 6)
+  in
+  let entries = List.map (fun f -> (f, rev_of f, git_commit_time (rev_of f), parse_bench f)) files in
+  (* Commit-date order, oldest first; revisions git doesn't know (a
+     file copied from another checkout) sort last in file-name order. *)
+  let entries =
+    List.stable_sort
+      (fun (_, _, a, _) (_, _, b, _) ->
+        match (a, b) with
+        | Some x, Some y -> compare x y
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> 0)
+      entries
+  in
+  let target_names =
+    List.fold_left
+      (fun acc (_, _, _, rows) ->
+        List.fold_left
+          (fun acc (n, _, _) -> if List.mem n acc then acc else acc @ [ n ])
+          acc rows)
+      [] entries
+  in
+  let lookup rows name = List.find_opt (fun (n, _, _) -> n = name) rows in
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\"bench_history_version\":1,\"revs\":[";
+    List.iteri
+      (fun i (f, rev, ct, _) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"rev\":%S,\"file\":%S,\"commit_time\":%s}" rev f
+             (match ct with Some t -> string_of_int t | None -> "null")))
+      entries;
+    Buffer.add_string b "],\"targets\":[";
+    List.iteri
+      (fun i name ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "{\"name\":%S,\"time_ns_per_run\":[" name);
+        List.iteri
+          (fun j (_, _, _, rows) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (match lookup rows name with Some (_, t, _) -> Printf.sprintf "%.0f" t | None -> "null"))
+          entries;
+        Buffer.add_string b "],\"allocated_words_per_run\":[";
+        List.iteri
+          (fun j (_, _, _, rows) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (match lookup rows name with Some (_, _, w) -> Printf.sprintf "%.0f" w | None -> "null"))
+          entries;
+        Buffer.add_string b "]}")
+      target_names;
+    Buffer.add_string b "]}";
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "## bench history: %d revisions, oldest -> newest\n\n" (List.length entries);
+    List.iter
+      (fun (f, rev, ct, _) ->
+        Printf.printf "  %-10s %s%s\n" rev f
+          (match ct with
+          | Some t -> Printf.sprintf "  (commit time %d)" t
+          | None -> "  (rev unknown to git; ordered last)"))
+      entries;
+    print_newline ();
+    let trajectory title cell =
+      Printf.printf "### %s\n\n" title;
+      let tbl =
+        Fba_stdx.Table.create
+          ~columns:
+            (("target", Fba_stdx.Table.Left)
+            :: List.map (fun (_, rev, _, _) -> (rev, Fba_stdx.Table.Right)) entries)
+      in
+      List.iter
+        (fun name ->
+          Fba_stdx.Table.add_row tbl
+            (name
+            :: List.map
+                 (fun (_, _, _, rows) ->
+                   match lookup rows name with Some (_, t, w) -> cell t w | None -> "-")
+                 entries))
+        target_names;
+      Fba_stdx.Table.print tbl;
+      print_newline ()
+    in
+    trajectory "time per run" (fun t _ -> Printf.sprintf "%.2f ms" (t /. 1e6));
+    trajectory "allocated words per run" (fun _ w -> Printf.sprintf "%.0f" w)
+  end;
+  exit 0
 
 (* The sweep-scale end-to-end configurations the micro targets
    extrapolate to, each measured once. n=4096 exists because the packed
@@ -416,6 +551,12 @@ let () =
   | [ "perf-target" ] ->
     prerr_endline "perf-target expects a target name";
     exit 2
+  | "history" :: rest ->
+    if rest <> [] then begin
+      prerr_endline "history usage: history [--json]";
+      exit 2
+    end;
+    run_history ~json ()
   | "perf" :: "--compare" :: rest ->
     let rec parse files tol metric = function
       | [] -> (List.rev files, tol, metric)

@@ -277,6 +277,191 @@ let trace_cmd =
       const run_trace $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg
       $ jsonl_arg $ csv_arg $ drop_rate_arg $ partition_arg)
 
+(* --- fba profile --- *)
+
+module Prof = Fba_sim.Prof
+module Telemetry = Fba_harness.Telemetry
+
+let top_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "top" ] ~docv:"K" ~doc:"Rows in the handler-tag hot-spot table.")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:"Emit the run's Telemetry JSON document (profile included) instead of tables.")
+
+let attack_name = function
+  | `Silent -> "silent"
+  | `Flood -> "flood"
+  | `Cornering -> "cornering"
+  | `Capture -> "capture"
+
+let run_profile n byz know seed attack mode top json =
+  let setup =
+    { Runner.default_setup with
+      Runner.byzantine_fraction = byz;
+      knowledgeable_fraction = know }
+  in
+  let sc = Runner.scenario_of_setup setup ~n ~seed:(Int64.of_int seed) in
+  let prof = Prof.create () in
+  let sync_attack sc =
+    match attack with
+    | `Silent -> Attacks.silent sc
+    | `Flood -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ])
+    | `Cornering -> Attacks.cornering sc
+    | `Capture -> Attacks.quorum_capture sc
+  in
+  let run, norm =
+    match mode with
+    | `Async ->
+      let adversary sc =
+        match attack with
+        | `Cornering -> Attacks.async_cornering sc
+        | _ -> Attacks.async_of_sync sc (sync_attack sc)
+      in
+      let config = { Runner.default_config with Runner.prof = Some prof } in
+      let r, norm = Runner.aer_async ~config ~adversary sc in
+      (r, Some norm)
+    | (`Rushing | `Non_rushing) as m ->
+      let config = { Runner.default_config with Runner.mode = m; prof = Some prof } in
+      (Runner.aer_sync ~config ~adversary:sync_attack sc, None)
+  in
+  let rounds = Prof.rounds prof and slots = Prof.slots prof in
+  (* Independent re-summation over the public cell accessors: the
+     matrix must repartition the run totals exactly (integer ns and
+     words), mirroring the phase-bits cross-check of [fba trace]. *)
+  let sum_wall = ref 0 and sum_alloc = ref 0 in
+  for r = 0 to rounds - 1 do
+    for s = 0 to slots - 1 do
+      sum_wall := !sum_wall + Prof.wall prof ~round:r ~slot:s;
+      sum_alloc := !sum_alloc + Prof.alloc prof ~round:r ~slot:s
+    done
+  done;
+  let total_wall = Prof.total_wall_ns prof and total_alloc = Prof.total_alloc_words prof in
+  let ok = !sum_wall = total_wall && !sum_alloc = total_alloc && Prof.check prof in
+  if json then print_endline (Telemetry.to_json (Telemetry.of_aer_run ~prof run))
+  else begin
+    let obs = run.Runner.obs in
+    let clock = match mode with `Async -> "time step" | _ -> "round" in
+    Format.printf "AER profile, n=%d byzantine=%.2f attack=%s mode=%s@." n byz
+      (attack_name attack)
+      (match mode with
+      | `Async -> "async"
+      | `Rushing -> "rushing"
+      | `Non_rushing -> "non-rushing");
+    Format.printf "run: %d %ss  wall %d ns (%.3f ms)  alloc %d words@." rounds clock
+      total_wall
+      (float_of_int total_wall /. 1e6)
+      total_alloc;
+    Format.printf "decided: %.3f  agreed: %.3f%s@.@." obs.Fba_harness.Obs.decided_fraction
+      obs.Fba_harness.Obs.agreed_fraction
+      (match norm with Some x -> Printf.sprintf "  (normalized rounds %.1f)" x | None -> "");
+    (* Hot-spot table on the compiled dispatch tags. *)
+    let tag_slots =
+      List.filter
+        (fun s -> Prof.slot_hits prof s > 0 || Prof.slot_wall prof s > 0)
+        (List.init (slots - 1) Fun.id)
+    in
+    let by_wall =
+      List.sort (fun a b -> compare (Prof.slot_wall prof b) (Prof.slot_wall prof a)) tag_slots
+    in
+    let shown = List.filteri (fun i _ -> i < top) by_wall in
+    Format.printf "Handler tags, top %d by wall time:@." (List.length shown);
+    Format.printf "  %-10s %10s %12s %7s %12s %10s@." "tag" "hits" "wall ns" "wall%"
+      "alloc words" "words/hit";
+    List.iter
+      (fun s ->
+        let hits = Prof.slot_hits prof s in
+        let w = Prof.slot_wall prof s and a = Prof.slot_alloc prof s in
+        Format.printf "  %-10s %10d %12d %6.1f%% %12d %10.1f@." (Prof.slot_name prof s) hits w
+          (if total_wall = 0 then 0.0 else 100.0 *. float_of_int w /. float_of_int total_wall)
+          a
+          (if hits = 0 then 0.0 else float_of_int a /. float_of_int hits))
+      shown;
+    (* Phase x round matrices: slots folded into protocol phases via
+       the same kind->phase map the trace timeline uses, plus the
+       engine slot. Every cell of the profile lands in exactly one
+       column, so each table's grand total equals the run total. *)
+    let phase_of s =
+      let name = Prof.slot_name prof s in
+      if s = slots - 1 then "engine" else Fba_core.Aer.phase_of_kind name
+    in
+    let phases =
+      List.fold_left
+        (fun acc s -> if List.mem (phase_of s) acc then acc else acc @ [ phase_of s ])
+        []
+        (List.filter
+           (fun s ->
+             s = slots - 1 || Prof.slot_hits prof s > 0 || Prof.slot_wall prof s > 0
+             || Prof.slot_alloc prof s > 0)
+           (List.init slots Fun.id))
+    in
+    let cell metric r ph =
+      let acc = ref 0 in
+      for s = 0 to slots - 1 do
+        if phase_of s = ph then acc := !acc + metric ~round:r ~slot:s
+      done;
+      !acc
+    in
+    let matrix title metric total =
+      Format.printf "@.Phase x %s %s:@." clock title;
+      Format.printf "  %5s" clock;
+      List.iter (fun ph -> Format.printf " %12s" ph) phases;
+      Format.printf " %12s@." "total";
+      let col_sums = Array.make (List.length phases) 0 in
+      for r = 0 to rounds - 1 do
+        Format.printf "  %5d" r;
+        let row_sum = ref 0 in
+        List.iteri
+          (fun i ph ->
+            let v = cell metric r ph in
+            col_sums.(i) <- col_sums.(i) + v;
+            row_sum := !row_sum + v;
+            Format.printf " %12d" v)
+          phases;
+        Format.printf " %12d@." !row_sum
+      done;
+      Format.printf "  %5s" "total";
+      Array.iter (fun v -> Format.printf " %12d" v) col_sums;
+      Format.printf " %12d@." (Array.fold_left ( + ) 0 col_sums);
+      total
+    in
+    ignore (matrix "wall ns" (Prof.wall prof) total_wall);
+    ignore (matrix "alloc words" (Prof.alloc prof) total_alloc);
+    Format.printf "@."
+  end;
+  if ok then begin
+    if not json then
+      Format.printf
+        "profile accounting check: cells sum to wall %d ns, alloc %d words = run totals@."
+        total_wall total_alloc;
+    0
+  end
+  else begin
+    Format.eprintf
+      "profile accounting MISMATCH: cells sum to wall %d ns / alloc %d words, run totals \
+       wall %d ns / alloc %d words@."
+      !sum_wall !sum_alloc total_wall total_alloc;
+    1
+  end
+
+let profile_cmd =
+  let doc =
+    "Profile one AER execution: per-handler-tag hot-spot counters on the compiled dispatch \
+     table, phase x round wall-clock and allocation matrices that must sum exactly to the \
+     run totals (non-zero exit otherwise), and $(b,--json) Telemetry export."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run_profile $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg
+      $ top_arg $ profile_json_arg)
+
 (* --- fba experiment --- *)
 
 module Experiment = Fba_harness.Experiment
@@ -330,6 +515,6 @@ let experiment_cmd =
 let main_cmd =
   let doc = "Fast Byzantine Agreement (Braud-Santoni, Guerraoui, Huc; PODC 2013) — simulator" in
   Cmd.group (Cmd.info "fba" ~version:"1.0.0" ~doc)
-    [ run_aer_cmd; run_ba_cmd; trace_cmd; experiment_cmd ]
+    [ run_aer_cmd; run_ba_cmd; trace_cmd; profile_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

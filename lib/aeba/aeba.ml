@@ -301,6 +301,9 @@ let pp_msg _cfg fmt = function
   | Relay { level; index; _ } -> Format.fprintf fmt "Relay(%d,%d)" level index
   | Inform _ -> Format.fprintf fmt "Inform"
 
+let msg_tags _cfg = [| "Contrib"; "Pk"; "Relay"; "Inform" |]
+let msg_tag _cfg = function Contrib _ -> 0 | Pk _ -> 1 | Relay _ -> 2 | Inform _ -> 3
+
 let reference_string outputs correct_mask =
   let counts = Hashtbl.create 8 in
   Array.iteri

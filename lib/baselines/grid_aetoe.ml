@@ -108,4 +108,7 @@ let pp_msg _cfg fmt = function
   | Along_row _ -> Format.fprintf fmt "Along_row"
   | Along_col _ -> Format.fprintf fmt "Along_col"
 
+let msg_tags _cfg = [| "Along_row"; "Along_col" |]
+let msg_tag _cfg = function Along_row _ -> 0 | Along_col _ -> 1
+
 let total_rounds = 5

@@ -75,6 +75,9 @@ let receive_into = None
 
 let pp_msg _cfg fmt (Push _) = Format.fprintf fmt "Push"
 
+let msg_tags _cfg = [| "Push" |]
+let msg_tag _cfg (Push _) = 0
+
 let total_rounds = 3
 
 let flood_adversary ?(victims = 4) cfg ~corrupted =

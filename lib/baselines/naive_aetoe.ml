@@ -101,6 +101,9 @@ let pp_msg _cfg fmt = function
   | Query -> Format.fprintf fmt "Query"
   | Reply _ -> Format.fprintf fmt "Reply"
 
+let msg_tags _cfg = [| "Query"; "Reply" |]
+let msg_tag _cfg = function Query -> 0 | Reply _ -> 1
+
 let total_rounds = 3
 
 let queries_answered st = Hashtbl.length st.answered

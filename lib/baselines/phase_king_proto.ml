@@ -47,6 +47,9 @@ let pp_msg _cfg fmt = function
   | Phase_king.Value _ -> Format.fprintf fmt "Value"
   | Phase_king.King _ -> Format.fprintf fmt "King"
 
+let msg_tags _cfg = [| "Value"; "King" |]
+let msg_tag _cfg = function Phase_king.Value _ -> 0 | Phase_king.King _ -> 1
+
 let total_rounds cfg =
   let t = (cfg.n - 1) / 3 in
   (4 * (t + 1)) + 2

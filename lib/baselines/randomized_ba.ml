@@ -149,6 +149,9 @@ let pp_msg _cfg fmt = function
     Format.fprintf fmt "Proposal(%d, %s)" k
       (match p with Some true -> "1" | Some false -> "0" | None -> "?")
 
+let msg_tags _cfg = [| "Report"; "Proposal" |]
+let msg_tag _cfg = function Report _ -> 0 | Proposal _ -> 1
+
 let max_engine_rounds cfg = (4 * cfg.max_logical_rounds) + 4
 
 let logical_rounds_used st = st.decided_round + 1

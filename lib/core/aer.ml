@@ -512,6 +512,17 @@ let msg_bits cfg m =
   | Some cp -> Compiled.bits cp m
   | None -> Packed.bits cfg.params cfg.intern m
 
+(* Profiler slots are the packed wire tags — the same indices the
+   Compiled dispatch jump table is keyed by, so per-slot hit/time
+   counters are hot-spot counters on that table. Tags 0 and 7 are the
+   table's invalid stubs; they can never be charged (dispatch raises)
+   but keep the indexing aligned. *)
+let profiler_tags =
+  [| "invalid"; "Push"; "Poll"; "Pull"; "Fw1"; "Fw2"; "Answer"; "invalid" |]
+
+let msg_tags _cfg = profiler_tags
+let msg_tag _cfg p = Packed.tag p
+
 let pp_msg (cfg : config) = Packed.pp cfg.intern
 
 let belief st = Intern.string st.intern st.belief

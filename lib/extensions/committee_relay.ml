@@ -146,4 +146,7 @@ let pp_msg _cfg fmt = function
   | Exchange _ -> Format.fprintf fmt "Exchange"
   | Deliver _ -> Format.fprintf fmt "Deliver"
 
+let msg_tags _cfg = [| "Exchange"; "Deliver" |]
+let msg_tag _cfg = function Exchange _ -> 0 | Deliver _ -> 1
+
 let total_rounds = 5

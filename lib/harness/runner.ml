@@ -52,6 +52,7 @@ type config = {
   max_time : int;
   events : Fba_sim.Events.sink option;
   phase_acc : Fba_sim.Events.Phase_acc.t option;
+  prof : Fba_sim.Prof.t option;
   flood : bool;
   net : Fba_sim.Net.spec;
   compile : bool;  (* lower the scenario before the run (Compiled) *)
@@ -64,6 +65,7 @@ let default_config =
     max_time = 4000;
     events = None;
     phase_acc = None;
+    prof = None;
     flood = false;
     net = Fba_sim.Net.Reliable;
     (* On unless FBA_NO_COMPILE is set — the same A/B switch
@@ -74,6 +76,7 @@ let default_config =
 type aer_run = {
   scenario : Scenario.t;
   obs : Obs.observation;
+  metrics : Fba_sim.Metrics.t;
   push_max_messages : int;
   candidate_sum : int;
   candidate_max : int;
@@ -120,35 +123,40 @@ let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
     else 3
   in
   let res =
-    Aer_sync.run ~quiet_limit ?events ~net:config.net ~config:cfg ~n
+    Aer_sync.run ~quiet_limit ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed ~adversary:(adversary sc) ~mode:config.mode
       ~max_rounds:config.max_rounds ()
   in
+  let metrics = res.Fba_sim.Sync_engine.metrics in
   let obs =
-    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics:res.Fba_sim.Sync_engine.metrics
+    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics
       ~outputs:res.Fba_sim.Sync_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
     aer_gauges sc res.Fba_sim.Sync_engine.states
   in
-  { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing }
+  { scenario = sc; obs; metrics; push_max_messages; candidate_sum; candidate_max;
+    gstring_missing }
 
 let aer_async ?(config = default_config) ~adversary (sc : Scenario.t) =
   let events = wire_phase_acc config.events config.phase_acc in
   let cfg = Aer.config_of_scenario ?events ~compile:config.compile sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
-    Aer_async.run ?events ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
-      ~adversary:(adversary sc) ~max_time:config.max_time ()
+    Aer_async.run ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed ~adversary:(adversary sc)
+      ~max_time:config.max_time ()
   in
+  let metrics = res.Fba_sim.Async_engine.metrics in
   let obs =
-    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics:res.Fba_sim.Async_engine.metrics
+    Obs.of_metrics ~phases:(phase_rows config.phase_acc) ~metrics
       ~outputs:res.Fba_sim.Async_engine.outputs ~reference:(Some sc.Scenario.gstring) ()
   in
   let push_max_messages, candidate_sum, candidate_max, gstring_missing =
     aer_gauges sc res.Fba_sim.Async_engine.states
   in
-  ( { scenario = sc; obs; push_max_messages; candidate_sum; candidate_max; gstring_missing },
+  ( { scenario = sc; obs; metrics; push_max_messages; candidate_sum; candidate_max;
+      gstring_missing },
     res.Fba_sim.Async_engine.normalized_rounds )
 
 let aer_phases ?(config = default_config) ~adversary (sc : Scenario.t) =
@@ -167,7 +175,8 @@ let run_grid ?(config = default_config) (sc : Scenario.t) =
     Grid.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc)
   in
   let res =
-    Grid_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Grid_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Grid.total_rounds + 2) ()
   in
@@ -189,7 +198,8 @@ let naive ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Naive_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Naive_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed
       ~adversary ~mode:`Rushing ~max_rounds:(Naive.total_rounds + 2) ()
   in
   let worst_replies = ref 0 in
@@ -217,7 +227,8 @@ let ks09 ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Ks09_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Ks09_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed
       ~adversary ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
   in
   Obs.of_metrics ~metrics:res.Fba_sim.Sync_engine.metrics ~outputs:res.Fba_sim.Sync_engine.outputs
@@ -234,7 +245,8 @@ let run_relay ?(config = default_config) (sc : Scenario.t) =
       ~str_bits:(str_bits sc) ()
   in
   let res =
-    Relay_sync.run ~net:config.net ~config:cfg ~n ~seed:sc.Scenario.params.Params.seed
+    Relay_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+      ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Relay.total_rounds + 2) ()
   in

@@ -37,6 +37,11 @@ type config = {
   phase_acc : Fba_sim.Events.Phase_acc.t option;
       (** per-phase accumulator, attached to [events] (a sink is
           created if [events] is [None]); fills [obs.phases] *)
+  prof : Fba_sim.Prof.t option;
+      (** run profiler threaded into every engine run; [None] (default)
+          keeps the zero-work unprofiled path. The engine re-arms the
+          profiler at run start ({!Fba_sim.Prof.start}), so one [Prof.t]
+          can be reused across runs — it always holds the last run. *)
   flood : bool;
       (** attackable baselines ({!naive}, {!ks09}): [false] (default)
           = silent adversary on both, [true] = the protocol's worst
@@ -62,6 +67,9 @@ val default_config : config
 type aer_run = {
   scenario : Scenario.t;
   obs : Obs.observation;
+  metrics : Fba_sim.Metrics.t;
+      (** the raw engine metrics behind [obs] — {!Telemetry.of_aer_run}
+          reads per-node distributions from here *)
   push_max_messages : int;  (** Lemma 3 gauge: worst correct push fan-out *)
   candidate_sum : int;  (** Lemma 4 gauge: Σ|L_x| over correct nodes *)
   candidate_max : int;  (** load-balance gauge: the largest candidate list *)

@@ -1,3 +1,24 @@
 let default_jobs () = Fba_stdx.Pool.recommended_jobs ()
 let resolve_jobs j = if j > 0 then j else default_jobs ()
-let cells ~jobs run_cell grid = Fba_stdx.Pool.map_list ~jobs:(resolve_jobs jobs) run_cell grid
+
+(* Opt-in heartbeat: one stderr line per completed cell. Long grids
+   (n-sweeps, robustness matrices) otherwise run for minutes with no
+   sign of life. stderr only — experiment stdout stays byte-identical
+   — and the completion counter is atomic because cells finish on
+   arbitrary pool domains. *)
+let progress_enabled () =
+  match Sys.getenv_opt "FBA_PROGRESS" with None | Some "" | Some "0" -> false | Some _ -> true
+
+let with_progress ~total run_cell =
+  let done_ = Atomic.make 0 in
+  fun cell ->
+    let row = run_cell cell in
+    let k = 1 + Atomic.fetch_and_add done_ 1 in
+    Printf.eprintf "[sweep] %d/%d cells\n%!" k total;
+    row
+
+let cells ~jobs run_cell grid =
+  let run_cell =
+    if progress_enabled () then with_progress ~total:(List.length grid) run_cell else run_cell
+  in
+  Fba_stdx.Pool.map_list ~jobs:(resolve_jobs jobs) run_cell grid

@@ -18,4 +18,10 @@ val resolve_jobs : int -> int
 val cells : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [cells ~jobs run_cell grid] maps [run_cell] over [grid] on
     [resolve_jobs jobs] domains, preserving grid order. [~jobs:1]
-    runs inline (no domain is spawned). *)
+    runs inline (no domain is spawned).
+
+    When the [FBA_PROGRESS] environment variable is set (non-empty,
+    not ["0"]), a heartbeat line [\[sweep\] k/total cells] is printed
+    to {e stderr} as each cell completes — completion order, so the
+    counter is monotone for any [jobs] value while stdout stays
+    byte-identical. *)

@@ -48,12 +48,13 @@ module Make (P : Protocol.S) = struct
 
   type nonrec result = P.state result
 
-  let run ?(quiet_limit = 6) ?events ?(net = Net.Reliable) ~(config : P.config) ~n ~seed
-      ~(adversary : adversary) ~max_time () =
+  let run ?(quiet_limit = 6) ?events ?prof ?(net = Net.Reliable) ~(config : P.config) ~n
+      ~seed ~(adversary : adversary) ~max_time () =
     if adversary.max_delay < 1 then invalid_arg "Async_engine: max_delay < 1";
     if quiet_limit < 1 then invalid_arg "Async_engine: quiet_limit < 1";
     let corrupted = adversary.corrupted in
-    let core = Core.create ?events ~net ~config ~n ~seed ~corrupted () in
+    let core = Core.create ?events ?prof ~net ~config ~n ~seed ~corrupted () in
+    Core.prof_start core;
     (* The calendar ring must fit the adversary's delay bound plus the
        worst-case network jitter, so jittered deliveries still land
        strictly within the ring. *)
@@ -118,6 +119,7 @@ module Make (P : Protocol.S) = struct
       incr time;
       let t = !time in
       Core.trace_round_start core ~round:t;
+      Core.prof_round core ~round:t;
       sends_this_step := 0;
       delivered_this_step := 0;
       (* Clock hook for correct nodes. *)
@@ -145,6 +147,7 @@ module Make (P : Protocol.S) = struct
       if !sends_this_step = 0 && !delivered_this_step = 0 then incr quiet else quiet := 0;
       continue := core.undecided > 0 && (cal.pending > 0 || !quiet < quiet_limit)
     done;
+    Core.prof_stop core;
     Metrics.set_rounds core.metrics !time;
     {
       metrics = core.metrics;

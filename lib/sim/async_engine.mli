@@ -40,6 +40,7 @@ module Make (P : Protocol.S) : sig
   val run :
     ?quiet_limit:int ->
     ?events:Events.sink ->
+    ?prof:Prof.t ->
     ?net:Net.spec ->
     config:P.config ->
     n:int ->
@@ -54,5 +55,8 @@ module Make (P : Protocol.S) : sig
       and [Net.Jitter] adds an extra per-send delay on top of the
       adversary's choice (the calendar ring is widened by the jitter
       bound, and [normalized_rounds] keeps dividing by the adversary's
-      [max_delay], so jitter shows up as stretched normalized time). *)
+      [max_delay], so jitter shows up as stretched normalized time).
+      [prof], when given, records per-step / per-handler-tag wall-clock
+      and allocation into the attached {!Prof.t}; absent, the run does
+      no profiling work at all. *)
 end

@@ -111,10 +111,11 @@ module Make (P : Protocol.S) = struct
     outputs : string option array;
     mutable undecided : int;
     events : Events.sink option;
+    prof : Prof.t option;
     net : Net.t;
   }
 
-  let create ?events ~net ~config ~n ~seed ~corrupted () =
+  let create ?events ?prof ~net ~config ~n ~seed ~corrupted () =
     P.compile config;
     {
       n;
@@ -125,8 +126,19 @@ module Make (P : Protocol.S) = struct
       outputs = Array.make n None;
       undecided = 0;
       events;
+      prof;
       net = Net.instantiate net ~n ~seed;
     }
+
+  (* Profiling sites mirror the [events] guards: a run without a
+     profiler attached does no extra work in the hot loops. *)
+  let prof_start t =
+    match t.prof with None -> () | Some p -> Prof.start p ~tags:(P.msg_tags t.config)
+
+  let prof_round t ~round =
+    match t.prof with None -> () | Some p -> Prof.round p round
+
+  let prof_stop t = match t.prof with None -> () | Some p -> Prof.stop p
 
   (* Round 0 / time 0: create correct nodes and hand their initial
      sends to the engine's dispatch. *)
@@ -221,5 +233,10 @@ module Make (P : Protocol.S) = struct
                  kind = Events.kind_of_pp (P.pp_msg t.config) msg;
                  bits = P.msg_bits t.config msg;
                }));
-        handle dst st ~src msg)
+        (match t.prof with
+        | None -> handle dst st ~src msg
+        | Some p ->
+          Prof.enter p;
+          handle dst st ~src msg;
+          Prof.leave p ~tag:(P.msg_tag t.config msg)))
 end

@@ -105,11 +105,13 @@ module Make (P : Protocol.S) : sig
     outputs : string option array;
     mutable undecided : int;
     events : Events.sink option;
+    prof : Prof.t option;
     net : Net.t;
   }
 
   val create :
     ?events:Events.sink ->
+    ?prof:Prof.t ->
     net:Net.spec ->
     config:P.config ->
     n:int ->
@@ -118,6 +120,19 @@ module Make (P : Protocol.S) : sig
     unit ->
     t
   (** Fresh run state; instantiates [net] from [seed]. *)
+
+  val prof_start : t -> unit
+  (** When a profiler is attached, (re)arm it with the protocol's
+      {!Protocol.S.msg_tags} and take the opening snapshot; free
+      otherwise. Call once, before {!init_nodes}. *)
+
+  val prof_round : t -> round:int -> unit
+  (** Close the profiler's current round and open [round]; free when no
+      profiler is attached. Call beside {!trace_round_start}. *)
+
+  val prof_stop : t -> unit
+  (** Take the closing snapshot so totals become available; free when
+      no profiler is attached. *)
 
   val init_nodes : t -> seed:int64 -> dispatch:(int -> (int * P.msg) list -> unit) -> unit
   (** Create every correct node ([P.init]) and pass its initial sends

@@ -55,6 +55,19 @@ module type S = sig
   (** Size of a message on the wire, in bits, headers included. Used
       for the paper's communication-complexity accounting. *)
 
+  val msg_tags : config -> string array
+  (** Handler-tag names for profiler attribution ({!Prof}), indexed by
+      {!msg_tag}. One entry per message kind; names should match the
+      first token of [pp_msg] so profiler tables line up with trace
+      kinds. Called once per profiled run (never on hot paths). *)
+
+  val msg_tag : config -> msg -> int
+  (** Dense tag of a message: [0 <= msg_tag c m < Array.length
+      (msg_tags c)]. For packed message planes this is the wire tag
+      (AER: the {!Fba_core.Compiled} dispatch jump-table index); for
+      variant planes, the constructor index. Must be allocation-free —
+      the engines call it per profiled delivery. *)
+
   val pp_msg : config -> Format.formatter -> msg -> unit
   (** Render a message for traces and event kinds. Takes the config so
       packed (interned-id) message planes can resolve payloads back to

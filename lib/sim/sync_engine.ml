@@ -46,11 +46,12 @@ module Make (P : Protocol.S) = struct
   let validate_adversary_envelope ~n ~corrupted e =
     Engine_core.validate_adversary_envelope ~who:"Sync_engine" ~n ~corrupted e
 
-  let run ?(quiet_limit = 3) ?events ?(net = Net.Reliable) ~(config : P.config) ~n ~seed
-      ~(adversary : adversary) ~(mode : mode) ~max_rounds () =
+  let run ?(quiet_limit = 3) ?events ?prof ?(net = Net.Reliable) ~(config : P.config) ~n
+      ~seed ~(adversary : adversary) ~(mode : mode) ~max_rounds () =
     if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
     let corrupted = adversary.corrupted in
-    let core = Core.create ?events ~net ~config ~n ~seed ~corrupted () in
+    let core = Core.create ?events ?prof ~net ~config ~n ~seed ~corrupted () in
+    Core.prof_start core;
     let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create () in
     let send src dst msg =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
@@ -130,6 +131,7 @@ module Make (P : Protocol.S) = struct
       let r = !round in
       cur_round := r;
       Core.trace_round_start core ~round:r;
+      Core.prof_round core ~round:r;
       (* Clock hook. *)
       for id = 0 to n - 1 do
         match core.states.(id) with
@@ -160,6 +162,7 @@ module Make (P : Protocol.S) = struct
         && !quiet < quiet_limit
     done;
     let rounds_used = if !quiet > 0 then !last_active else !round in
+    Core.prof_stop core;
     Metrics.set_rounds core.metrics rounds_used;
     {
       metrics = core.metrics;

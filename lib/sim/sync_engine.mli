@@ -43,6 +43,7 @@ module Make (P : Protocol.S) : sig
   val run :
     ?quiet_limit:int ->
     ?events:Events.sink ->
+    ?prof:Prof.t ->
     ?net:Net.spec ->
     config:P.config ->
     n:int ->
@@ -58,5 +59,7 @@ module Make (P : Protocol.S) : sig
       to [Net.Reliable]; any other condition may drop deliveries
       (attributed through {!Events.Drop} with the {!Net} reason tags).
       [Net.Jitter] is a no-op here: the synchronous delivery schedule
-      {e is} the round structure. *)
+      {e is} the round structure. [prof], when given, records per-round
+      / per-handler-tag wall-clock and allocation into the attached
+      {!Prof.t}; absent, the run does no profiling work at all. *)
 end

@@ -87,4 +87,7 @@ module Traced (P : Protocol.S) = struct
   let msg_bits (cfg, _) msg = P.msg_bits cfg msg
 
   let pp_msg (cfg, _) = P.pp_msg cfg
+
+  let msg_tags (cfg, _) = P.msg_tags cfg
+  let msg_tag (cfg, _) msg = P.msg_tag cfg msg
 end

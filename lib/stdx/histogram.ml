@@ -35,6 +35,10 @@ let percentile t p =
   in
   scan 0 (to_rows t)
 
+let percentile_opt t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile_opt: p out of range";
+  if t.total = 0 then None else Some (percentile t p)
+
 let render ?(width = 40) t =
   let rows = to_rows t in
   let peak = List.fold_left (fun m (_, c) -> max m c) 1 rows in

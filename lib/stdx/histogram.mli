@@ -25,7 +25,13 @@ val max_value : t -> int option
 val percentile : t -> float -> int
 (** [percentile t p] for [p] in [\[0,100\]]: smallest value v such that
     at least [p]% of the mass is ≤ v. Raises [Invalid_argument] on an
-    empty histogram. *)
+    empty histogram — callers that may see degenerate (zero-sample)
+    runs should use {!percentile_opt} instead. *)
+
+val percentile_opt : t -> float -> int option
+(** Total version of {!percentile}: [None] on an empty histogram
+    (degenerate runs report "-" / null instead of crashing). Still
+    raises [Invalid_argument] when [p] is outside [\[0,100\]]. *)
 
 val to_rows : t -> (int * int) list
 (** (value, count) pairs in increasing value order, zero counts

@@ -39,12 +39,74 @@ else
   echo "python3 not found; skipping JSONL validation" >&2
 fi
 
+# Profiler smoke test: `fba profile` must pass its own accounting
+# cross-check (the per-round x per-tag wall/alloc cells must sum
+# exactly to the run totals; it exits non-zero otherwise), and its
+# --json Telemetry document must parse, be pure ASCII, and carry the
+# versioned envelope.
+dune exec bin/fba.exe -- profile -n 48 --attack cornering > /dev/null
+echo "profile accounting smoke ok"
+telemetry="$(mktemp)"
+trap 'rm -f "$jsonl" "$telemetry"' EXIT
+dune exec bin/fba.exe -- profile -n 48 --attack cornering --json > "$telemetry"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$telemetry" <<'EOF'
+import json, sys
+raw = open(sys.argv[1], "rb").read()
+if any(b >= 128 for b in raw):
+    sys.exit("telemetry document contains non-ASCII bytes")
+doc = json.loads(raw)
+if doc.get("telemetry_version") != 1:
+    sys.exit(f"unexpected telemetry_version: {doc.get('telemetry_version')!r}")
+for key in ("counters", "gauges", "dists", "phases", "prof"):
+    if key not in doc:
+        sys.exit(f"telemetry document missing {key!r}")
+if doc["prof"] is None:
+    sys.exit("profiled run exported prof: null")
+cells = sum(s["wall_ns"] for s in doc["prof"]["slots"])
+if cells != doc["prof"]["total_wall_ns"]:
+    sys.exit("prof slot wall times do not sum to total_wall_ns")
+print(f"telemetry JSON ok: {len(doc['counters'])} counters, "
+      f"{len(doc['prof']['slots'])} prof slots")
+EOF
+else
+  echo "python3 not found; skipping telemetry validation" >&2
+fi
+
+# Bench-history smoke test: the trajectory tool must render the
+# checked-in BENCH_<rev>.json files (>= 1 revision) and emit valid,
+# git-date-ordered JSON.
+if ls BENCH_*.json > /dev/null 2>&1; then
+  dune exec bench/main.exe -- history > /dev/null
+  if command -v python3 > /dev/null 2>&1; then
+    history="$(mktemp)"
+    trap 'rm -f "$jsonl" "$telemetry" "$history"' EXIT
+    dune exec bench/main.exe -- history --json > "$history"
+    python3 - "$history" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("bench_history_version") != 1:
+    sys.exit("unexpected bench_history_version")
+revs = doc["revs"]
+if not revs:
+    sys.exit("bench history found no revisions")
+times = [r["commit_time"] for r in revs if r["commit_time"] is not None]
+if times != sorted(times):
+    sys.exit("bench history revisions not in commit-date order")
+print(f"bench history ok: {len(revs)} revisions, {len(doc['targets'])} targets")
+EOF
+  fi
+else
+  echo "no BENCH_*.json files; skipping bench history smoke" >&2
+fi
+
 # Sweep-executor smoke test: the experiment sweeps must produce
 # byte-identical reports whether the grid runs sequentially or sharded
 # across worker domains. Uses the two cheapest experiments.
 seq_out="$(mktemp)"
 par_out="$(mktemp)"
-trap 'rm -f "$jsonl" "$seq_out" "$par_out"' EXIT
+trap 'rm -f "$jsonl" "$telemetry" "$history" "$seq_out" "$par_out"' EXIT
 dune exec bench/main.exe -- samplers fig1a --jobs 1 > "$seq_out"
 dune exec bench/main.exe -- samplers fig1a --jobs 2 > "$par_out"
 if cmp -s "$seq_out" "$par_out"; then
@@ -99,7 +161,7 @@ for rev in $(git log --format=%h 2>/dev/null); do
 done
 if [ -n "$baseline" ]; then
   current="$(mktemp)"
-  trap 'rm -f "$jsonl" "$seq_out" "$par_out" "$current"' EXIT
+  trap 'rm -f "$jsonl" "$telemetry" "$history" "$seq_out" "$par_out" "$current"' EXIT
   words="$(dune exec bench/main.exe -- perf-target fig1a/aer-cornering-n128 --record "$current")"
   dune exec bench/main.exe -- perf --compare "$baseline" "$current" \
     --tol "${FBA_PERF_TIME_TOL:-10}" --metric time

@@ -18,4 +18,5 @@ let () =
          Test_compiled.suites;
          Test_determinism.suites;
          Test_net.suites;
+         Test_prof.suites;
        ])

@@ -1,0 +1,292 @@
+(* The run profiler (Fba_sim.Prof) and the Telemetry export seam.
+
+   The profiler's two contracts:
+
+   - transparency: attaching a profiler must not change the execution.
+     qcheck runs the same scenario with and without a profiler (sync
+     and async) and demands identical metrics fingerprints, outputs
+     and event streams;
+   - exact accounting: consecutive snapshots partition the run's
+     timeline, so the (round, slot) cell matrix must sum — in integer
+     nanoseconds and words — to the run totals, and the per-slot hit
+     counters must agree with the event stream's Deliver counts per
+     message kind.
+
+   Telemetry gets a schema golden: the document for a fixed run is
+   byte-stable (profile omitted — wall-clock is nondeterministic),
+   ASCII, and carries the versioned envelope. *)
+
+module Prof = Fba_sim.Prof
+module Events = Fba_sim.Events
+module Metrics = Fba_sim.Metrics
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+module Telemetry = Fba_harness.Telemetry
+open Fba_core
+module Aer_sync = Fba_sim.Sync_engine.Make (Aer)
+module Aer_async = Fba_sim.Async_engine.Make (Aer)
+
+let fingerprint = Test_determinism.fingerprint
+
+let quiet_limit_of sc =
+  if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+    Params.(sc.Scenario.params.repoll_timeout) + 2
+  else 3
+
+let run_sync ?events ?prof ~n ~seed adv =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+  let cfg = Aer.config_of_scenario ?events sc in
+  Aer_sync.run ~quiet_limit:(quiet_limit_of sc) ?events ?prof ~config:cfg ~n ~seed
+    ~adversary:(adv sc) ~mode:`Rushing ~max_rounds:300 ()
+
+let run_async ?events ?prof ~n ~seed adv =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+  let cfg = Aer.config_of_scenario ?events sc in
+  Aer_async.run ?events ?prof ~config:cfg ~n ~seed ~adversary:(adv sc) ~max_time:4000 ()
+
+let arb_run =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%Ld" n seed)
+    QCheck.Gen.(pair (int_range 24 64) (map Int64.of_int (int_range 1 1000)))
+
+(* --- Transparency: profiling on vs off is byte-identical --- *)
+
+let collect_events run =
+  let mem = Events.Memory.create () in
+  let sink = Events.create () in
+  Events.attach sink (Events.Memory.consumer mem);
+  let res = run ~events:sink in
+  (res, Events.Memory.to_list mem)
+
+let prop_sync_transparent =
+  QCheck.Test.make ~name:"sync: attaching a profiler changes nothing observable" ~count:15
+    arb_run (fun (n, seed) ->
+      let base, base_ev =
+        collect_events (fun ~events -> run_sync ~events ~n ~seed Attacks.cornering)
+      in
+      let prof = Prof.create () in
+      let profiled, prof_ev =
+        collect_events (fun ~events -> run_sync ~events ~prof ~n ~seed Attacks.cornering)
+      in
+      fingerprint base.Fba_sim.Sync_engine.metrics
+      = fingerprint profiled.Fba_sim.Sync_engine.metrics
+      && base.Fba_sim.Sync_engine.outputs = profiled.Fba_sim.Sync_engine.outputs
+      && base_ev = prof_ev)
+
+let prop_async_transparent =
+  QCheck.Test.make ~name:"async: attaching a profiler changes nothing observable" ~count:10
+    arb_run (fun (n, seed) ->
+      let adv sc = Attacks.async_cornering sc in
+      let base, base_ev = collect_events (fun ~events -> run_async ~events ~n ~seed adv) in
+      let prof = Prof.create () in
+      let profiled, prof_ev =
+        collect_events (fun ~events -> run_async ~events ~prof ~n ~seed adv)
+      in
+      fingerprint base.Fba_sim.Async_engine.metrics
+      = fingerprint profiled.Fba_sim.Async_engine.metrics
+      && base.Fba_sim.Async_engine.outputs = profiled.Fba_sim.Async_engine.outputs
+      && base_ev = prof_ev)
+
+(* --- Exact accounting: cells partition the run totals --- *)
+
+let sums_to_totals prof =
+  let rounds = Prof.rounds prof and slots = Prof.slots prof in
+  let w = ref 0 and a = ref 0 and rw = ref 0 and ra = ref 0 and sw = ref 0 and sa = ref 0 in
+  for r = 0 to rounds - 1 do
+    rw := !rw + Prof.round_wall prof r;
+    ra := !ra + Prof.round_alloc prof r;
+    for s = 0 to slots - 1 do
+      w := !w + Prof.wall prof ~round:r ~slot:s;
+      a := !a + Prof.alloc prof ~round:r ~slot:s
+    done
+  done;
+  for s = 0 to slots - 1 do
+    sw := !sw + Prof.slot_wall prof s;
+    sa := !sa + Prof.slot_alloc prof s
+  done;
+  Prof.check prof
+  && !w = Prof.total_wall_ns prof
+  && !a = Prof.total_alloc_words prof
+  && !rw = Prof.total_wall_ns prof
+  && !ra = Prof.total_alloc_words prof
+  && !sw = Prof.total_wall_ns prof
+  && !sa = Prof.total_alloc_words prof
+
+let prop_sync_sums =
+  QCheck.Test.make ~name:"sync: profiler cells sum exactly to run totals" ~count:15 arb_run
+    (fun (n, seed) ->
+      let prof = Prof.create () in
+      ignore (run_sync ~prof ~n ~seed Attacks.cornering);
+      sums_to_totals prof)
+
+let prop_async_sums =
+  QCheck.Test.make ~name:"async: profiler cells sum exactly to run totals" ~count:10 arb_run
+    (fun (n, seed) ->
+      let prof = Prof.create () in
+      ignore (run_async ~prof ~n ~seed (fun sc -> Attacks.async_cornering sc));
+      sums_to_totals prof)
+
+(* --- Hit counters agree with the event stream --- *)
+
+let prop_hits_match_delivers =
+  QCheck.Test.make ~name:"per-tag hits = Deliver events per kind (and per round)" ~count:15
+    arb_run (fun (n, seed) ->
+      let prof = Prof.create () in
+      let _, evs =
+        collect_events (fun ~events -> run_sync ~events ~prof ~n ~seed Attacks.cornering)
+      in
+      let slots = Prof.slots prof in
+      (* Deliver counts from the event stream, keyed the same way:
+         kind string -> slot index via the profiler's own slot table. *)
+      let slot_of_kind k =
+        let found = ref (-1) in
+        for s = 0 to slots - 1 do
+          if Prof.slot_name prof s = k then found := s
+        done;
+        !found
+      in
+      let by_slot = Array.make slots 0 in
+      let by_cell = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Events.Deliver { round; kind; _ } ->
+            let s = slot_of_kind kind in
+            if s < 0 then failwith ("Deliver kind not in profiler slots: " ^ kind);
+            by_slot.(s) <- by_slot.(s) + 1;
+            Hashtbl.replace by_cell (round, s)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_cell (round, s)))
+          | _ -> ())
+        evs;
+      let slot_ok = ref true in
+      for s = 0 to slots - 1 do
+        if Prof.slot_hits prof s <> by_slot.(s) then slot_ok := false
+      done;
+      let cell_ok = ref true in
+      for r = 0 to Prof.rounds prof - 1 do
+        for s = 0 to slots - 1 do
+          let expect = Option.value ~default:0 (Hashtbl.find_opt by_cell (r, s)) in
+          if Prof.hits prof ~round:r ~slot:s <> expect then cell_ok := false
+        done
+      done;
+      !slot_ok && !cell_ok)
+
+(* --- Prof unit details --- *)
+
+let test_engine_slot_is_last () =
+  let prof = Prof.create () in
+  Alcotest.(check bool) "idle profiler not started" false (Prof.started prof);
+  ignore (run_sync ~prof ~n:32 ~seed:5L Attacks.silent);
+  Alcotest.(check bool) "started after a run" true (Prof.started prof);
+  Alcotest.(check string) "trailing slot is engine" "engine"
+    (Prof.slot_name prof (Prof.slots prof - 1));
+  (* AER's tag table is the packed wire-tag numbering. *)
+  Alcotest.(check string) "slot 1 is Push" "Push" (Prof.slot_name prof 1);
+  Alcotest.(check int) "engine slot counts no handler hits" 0
+    (Prof.slot_hits prof (Prof.slots prof - 1))
+
+let test_prof_reuse_resets () =
+  let prof = Prof.create () in
+  ignore (run_sync ~prof ~n:48 ~seed:5L Attacks.cornering);
+  let big_hits = Prof.slot_hits prof 4 in
+  ignore (run_sync ~prof ~n:24 ~seed:6L Attacks.silent);
+  (* Re-arming replaced the matrix: totals are the new run's, not a
+     running sum (hits strictly smaller at a third the size). *)
+  Alcotest.(check bool) "second run replaces the first" true (Prof.slot_hits prof 4 < big_hits);
+  Alcotest.(check bool) "still sums exactly" true (sums_to_totals prof)
+
+(* --- Telemetry --- *)
+
+let stable_run () =
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:32 ~seed:11L in
+  Runner.aer_sync ~adversary:Attacks.silent sc
+
+let test_telemetry_schema () =
+  let doc = Telemetry.to_json (Telemetry.of_aer_run (stable_run ())) in
+  let contains sub =
+    let n = String.length doc and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub doc i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "versioned envelope" true
+    (contains (Printf.sprintf "{\"telemetry_version\":%d,\"counters\":{" Telemetry.version));
+  List.iter
+    (fun key -> Alcotest.(check bool) key true (contains (Printf.sprintf "\"%s\"" key)))
+    [
+      "counters"; "gauges"; "dists"; "phases"; "prof"; "n"; "rounds"; "decision_round";
+      "sent_bits"; "recv_bits"; "agreed_fraction";
+    ];
+  Alcotest.(check bool) "no profiler attached -> prof is null" true (contains "\"prof\":null");
+  String.iter
+    (fun c ->
+      if Char.code c >= 128 then Alcotest.failf "non-ASCII byte %02x in document" (Char.code c))
+    doc
+
+let test_telemetry_golden () =
+  (* Same run, built twice: the document is byte-stable. Goldens the
+     key order and number formatting the schema promises. *)
+  let d1 = Telemetry.to_json (Telemetry.of_aer_run (stable_run ())) in
+  let d2 = Telemetry.to_json (Telemetry.of_aer_run (stable_run ())) in
+  Alcotest.(check string) "deterministic document" d1 d2;
+  (* Counter values surface verbatim from the run. *)
+  let run = stable_run () in
+  let t = Telemetry.of_aer_run run in
+  Alcotest.(check (list (pair string int)))
+    "n and rounds lead the counters"
+    [ ("n", 32); ("rounds", run.Runner.obs.Fba_harness.Obs.rounds) ]
+    (List.filteri (fun i _ -> i < 2) (Telemetry.counters t))
+
+let test_telemetry_registry () =
+  let t = Telemetry.create () in
+  Telemetry.counter t "a" 1;
+  Telemetry.counter t "b" 2;
+  Telemetry.counter t "a" 3;
+  Alcotest.(check (list (pair string int)))
+    "set keeps position, overwrites value"
+    [ ("a", 3); ("b", 2) ]
+    (Telemetry.counters t);
+  let h = Fba_stdx.Histogram.create () in
+  Telemetry.dist t "empty" h;
+  Telemetry.gauge t "g" 0.5;
+  let doc = Telemetry.to_json t in
+  Alcotest.(check string) "empty dist exports null percentiles"
+    "{\"telemetry_version\":1,\"counters\":{\"a\":3,\"b\":2},\"gauges\":{\"g\":0.5},\"dists\":{\"empty\":{\"count\":0,\"p50\":null,\"p95\":null,\"p99\":null,\"max\":null}},\"phases\":[],\"prof\":null}"
+    doc
+
+let test_telemetry_with_prof () =
+  let prof = Prof.create () in
+  let sc = Runner.scenario_of_setup Runner.default_setup ~n:32 ~seed:11L in
+  let config = { Runner.default_config with Runner.prof = Some prof } in
+  let run = Runner.aer_sync ~config ~adversary:Attacks.silent sc in
+  let doc = Telemetry.to_json (Telemetry.of_aer_run ~prof run) in
+  let contains sub =
+    let n = String.length doc and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub doc i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prof section present" true (contains "\"prof\":{\"rounds\":");
+  Alcotest.(check bool) "slots array present" true (contains "\"slots\":[{\"name\":\"invalid\"")
+
+let suites =
+  [
+    ( "prof",
+      [
+        Alcotest.test_case "engine slot layout" `Quick test_engine_slot_is_last;
+        Alcotest.test_case "reuse re-arms" `Quick test_prof_reuse_resets;
+      ] );
+    ( "prof.qcheck",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_sync_transparent;
+          prop_async_transparent;
+          prop_sync_sums;
+          prop_async_sums;
+          prop_hits_match_delivers;
+        ] );
+    ( "telemetry",
+      [
+        Alcotest.test_case "schema" `Quick test_telemetry_schema;
+        Alcotest.test_case "golden document" `Quick test_telemetry_golden;
+        Alcotest.test_case "registry semantics" `Quick test_telemetry_registry;
+        Alcotest.test_case "prof section" `Quick test_telemetry_with_prof;
+      ] );
+  ]

@@ -31,6 +31,8 @@ module Ring = struct
   let output st = if st.got then Some "done" else None
   let msg_bits _ Token = 16
   let pp_msg _cfg fmt Token = Format.fprintf fmt "Token"
+  let msg_tags _cfg = [| "Token" |]
+  let msg_tag _cfg Token = 0
 end
 
 module Ring_sync = Sync_engine.Make (Ring)

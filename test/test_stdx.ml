@@ -384,6 +384,20 @@ let test_histogram_percentile () =
   Alcotest.check_raises "empty percentile" (Invalid_argument "Histogram.percentile: empty")
     (fun () -> ignore (Histogram.percentile empty 50.0))
 
+let test_histogram_percentile_opt () =
+  let h = Histogram.create () in
+  Histogram.add_many h 1 90;
+  Histogram.add_many h 10 10;
+  Alcotest.(check (option int)) "agrees with percentile" (Some 1)
+    (Histogram.percentile_opt h 50.0);
+  Alcotest.(check (option int)) "p95" (Some 10) (Histogram.percentile_opt h 95.0);
+  (* The degenerate case percentile crashes on: total instead of raise. *)
+  let empty = Histogram.create () in
+  Alcotest.(check (option int)) "empty is None" None (Histogram.percentile_opt empty 50.0);
+  Alcotest.check_raises "out-of-range p still rejected"
+    (Invalid_argument "Histogram.percentile_opt: p out of range") (fun () ->
+      ignore (Histogram.percentile_opt empty 101.0))
+
 let test_histogram_render () =
   let h = Histogram.create () in
   Histogram.add_many h 3 4;
@@ -478,6 +492,7 @@ let suites =
       [
         Alcotest.test_case "basics" `Quick test_histogram_basic;
         Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+        Alcotest.test_case "percentile_opt" `Quick test_histogram_percentile_opt;
         Alcotest.test_case "render" `Quick test_histogram_render;
       ] );
     ( "stdx.table",
