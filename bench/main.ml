@@ -25,13 +25,15 @@
    default (0) auto-sizes to the machine. Output is byte-identical for
    every jobs value.
 
-   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|robustness|perf|all]
+   Usage: main.exe [fig1a|fig1b|lemmas|samplers|ablation|robustness|wide|perf|all]
                    [--full] [--json] [--jobs N]
           main.exe perf-target NAME [--record FILE]
                    (scripting: print one target's allocated words per
                    run — scripts/ci.sh diffs this against the recorded
                    BENCH_<rev>.json baseline; --record also writes the
-                   measurement as a one-target BENCH-format file)
+                   measurement as a one-target BENCH-format file. Both
+                   micro and e2e/ names resolve; e2e progress goes to
+                   stderr so stdout stays one bare number)
           main.exe perf --compare BASE.json NEW.json [--tol PCT]
                    [--metric time|alloc|both]
                    (print per-target time/allocation deltas between two
@@ -445,18 +447,26 @@ let run_history ~json () =
 
 (* The sweep-scale end-to-end configurations the micro targets
    extrapolate to, each measured once. n=4096 exists because the packed
-   message plane makes it affordable; it is the first grid tier beyond
-   the historical n=1024 ceiling. *)
-let e2e_targets = [ ("e2e/aer-cornering-n1024", 1024); ("e2e/aer-cornering-n4096", 4096) ]
+   message plane makes it affordable (the first grid tier beyond the
+   historical n=1024 ceiling); n=16384 and n=65536 are the wide-layout
+   lane, with shared junk because unique junk cannot fit any wide sid
+   field at those populations. *)
+let e2e_targets =
+  [
+    ("e2e/aer-cornering-n1024", 1024, Fba_core.Scenario.Junk_unique);
+    ("e2e/aer-cornering-n4096", 4096, Fba_core.Scenario.Junk_unique);
+    ("e2e/aer-cornering-n16384", 16384, Fba_core.Scenario.Junk_shared 8);
+    ("e2e/aer-cornering-n65536", 65536, Fba_core.Scenario.Junk_shared 8);
+  ]
 
-let measure_e2e (name, n) =
-  let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed:1L in
+let measure_e2e ?(progress = stdout) (name, n, junk) =
+  let sc = Runner.scenario_of_setup { Runner.default_setup with Runner.junk } ~n ~seed:1L in
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
   ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
   let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   let words = (Gc.allocated_bytes () -. a0) /. 8.0 in
-  Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" name ns words;
+  Printf.fprintf progress "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" name ns words;
   (name, ns, words, 1)
 
 let run_perf_json () =
@@ -500,6 +510,7 @@ let experiments : Experiment.t list =
     (module Fba_harness.Exp_samplers);
     (module Fba_harness.Exp_ablation);
     (module Fba_harness.Exp_robustness);
+    (module Fba_harness.Exp_wide);
   ]
 
 (* [--jobs N] / [-j N]: worker-domain count for experiment sweeps.
@@ -537,17 +548,23 @@ let () =
     (* Bare stdout by design: one number, for scripts/ci.sh. [--record]
        additionally writes the full measurement as a one-target
        BENCH-format file so [perf --compare] can gate on it. *)
-    match List.assoc_opt name perf_tests with
-    | Some f ->
-      let time_ns, words, runs = measure_target f in
+    let finish (tname, time_ns, words, runs) =
       (match record with
-      | Some path -> write_bench_json ~path ~rev:(git_rev ()) [ (name, time_ns, words, runs) ]
+      | Some path -> write_bench_json ~path ~rev:(git_rev ()) [ (tname, time_ns, words, runs) ]
       | None -> ());
       Printf.printf "%.0f\n" words;
       exit 0
-    | None ->
-      Printf.eprintf "unknown perf target %S\n" name;
-      exit 2)
+    in
+    match List.assoc_opt name perf_tests with
+    | Some f ->
+      let time_ns, words, runs = measure_target f in
+      finish (name, time_ns, words, runs)
+    | None -> (
+      match List.find_opt (fun (e, _, _) -> e = name) e2e_targets with
+      | Some target -> finish (measure_e2e ~progress:stderr target)
+      | None ->
+        Printf.eprintf "unknown perf target %S\n" name;
+        exit 2))
   | [ "perf-target" ] ->
     prerr_endline "perf-target expects a target name";
     exit 2

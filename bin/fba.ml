@@ -474,6 +474,7 @@ let experiments : Experiment.t list =
     (module Fba_harness.Exp_samplers);
     (module Fba_harness.Exp_ablation);
     (module Fba_harness.Exp_robustness);
+    (module Fba_harness.Exp_wide);
   ]
 
 let exp_arg =
@@ -484,7 +485,7 @@ let exp_arg =
     required
     & pos 0 (some (enum choices)) None
     & info [] ~docv:"EXPERIMENT"
-        ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, robustness, all.")
+        ~doc:"One of fig1a, fig1b, lemmas, samplers, ablation, robustness, wide, all.")
 
 let jobs_arg =
   Arg.(

@@ -22,6 +22,7 @@ let byzantine_ids (sc : Scenario.t) = Array.of_list (Bitset.to_list sc.Scenario.
    injection time. Adversaries are deterministic, so the registration
    order — hence every id — is too. *)
 let intern_of (sc : Scenario.t) = sc.Scenario.intern
+let layout_of (sc : Scenario.t) = sc.Scenario.layout
 
 let silent (sc : Scenario.t) =
   Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
@@ -55,7 +56,7 @@ let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
       let outs = ref [] in
       Array.iter
         (fun s ->
-          let msg = Packed.push ~sid:(Intern.intern (intern_of sc) s) in
+          let msg = Packed.push (layout_of sc) ~sid:(Intern.intern (intern_of sc) s) in
           Array.iter
             (fun y ->
               if blast then
@@ -74,6 +75,7 @@ let push_flood ?(fake_strings = 3) ?(blast = false) (sc : Scenario.t) =
   { Fba_sim.Sync_engine.corrupted = sc.Scenario.corrupted; act }
 
 let wrong_answer (sc : Scenario.t) =
+  let lt = layout_of sc in
   let gsid = Intern.intern (intern_of sc) sc.Scenario.gstring in
   let corrupted = sc.Scenario.corrupted in
   let replied : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -81,7 +83,7 @@ let wrong_answer (sc : Scenario.t) =
     List.filter_map
       (fun (e : Aer.msg Envelope.t) ->
         let m = e.Envelope.msg in
-        let sid = Packed.sid m in
+        let sid = Packed.sid lt m in
         if
           Packed.tag m = Packed.tag_poll
           && sid <> gsid
@@ -89,14 +91,16 @@ let wrong_answer (sc : Scenario.t) =
           && (not (Bitset.mem corrupted e.src))
           &&
           (* (answerer, poller, string) replied-once key, packed like
-             the protocol's own tables: ids fit 13 bits each. *)
-          let key = (((e.dst lsl 13) lor e.src) lsl 13) lor sid in
+             the protocol's own tables with the run layout's widths. *)
+          let key =
+            (((e.dst lsl lt.Msg.Layout.id_bits) lor e.src) lsl lt.Msg.Layout.sid_bits) lor sid
+          in
           not (Hashtbl.mem replied key)
           && begin
                Hashtbl.add replied key ();
                true
              end
-        then Some (Envelope.make ~src:e.dst ~dst:e.src (Packed.answer ~sid))
+        then Some (Envelope.make ~src:e.dst ~dst:e.src (Packed.answer lt ~sid))
         else None)
       (observed ())
   in
@@ -108,6 +112,7 @@ let wrong_answer (sc : Scenario.t) =
    the envelopes to inject. *)
 let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
   let params = sc.Scenario.params in
+  let lt = layout_of sc in
   let gstring = sc.Scenario.gstring in
   let gsid = Intern.intern (intern_of sc) gstring in
   let corrupted = sc.Scenario.corrupted in
@@ -120,7 +125,7 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
     (fun (e : Aer.msg Envelope.t) ->
       if
         Packed.tag e.Envelope.msg = Packed.tag_poll
-        && Packed.sid e.Envelope.msg = gsid
+        && Packed.sid lt e.Envelope.msg = gsid
         && (not (Bitset.mem corrupted e.src))
         && not (Bitset.mem corrupted e.dst)
       then
@@ -190,8 +195,8 @@ let cornering_plan ~labels_per_search (sc : Scenario.t) observed =
       done;
       let r = !best_r in
       let rid = Intern.intern_label (intern_of sc) r in
-      let poll_msg = Packed.poll ~sid:gsid ~rid in
-      let pull_msg = Packed.pull ~sid:gsid ~rid in
+      let poll_msg = Packed.poll lt ~sid:gsid ~rid in
+      let pull_msg = Packed.pull lt ~sid:gsid ~rid in
       Cache.iter_xr qj ~x:a ~r (fun w ->
           (match Hashtbl.find need w with
           | n when !n > 0 -> decr n
@@ -250,7 +255,7 @@ let quorum_capture ?(victims = 4) ?strings_per_victim ?(max_tries = 400) (sc : S
             let byz_members = Array.of_list (List.filter (Bitset.mem corrupted) (Array.to_list quorum)) in
             if Array.length byz_members >= maj then begin
               incr planted;
-              let msg = Packed.push ~sid:(Intern.intern (intern_of sc) s) in
+              let msg = Packed.push (layout_of sc) ~sid:(Intern.intern (intern_of sc) s) in
               Array.iter
                 (fun y -> outs := Envelope.make ~src:y ~dst:v msg :: !outs)
                 byz_members
@@ -293,6 +298,7 @@ let async_of_sync ?(max_delay = 4) (sc : Scenario.t) (attack : sync) =
 
 let async_cornering ?(max_delay = 4) ?(labels_per_search = 64) (sc : Scenario.t) =
   let base = async_of_sync ~max_delay sc (cornering ~labels_per_search sc) in
+  let lt = layout_of sc in
   let corrupted = sc.Scenario.corrupted in
   (* Content-inspecting schedule: traffic serving the adversary's own
      pull chains travels at full speed, honest traffic crawls. *)
@@ -300,7 +306,7 @@ let async_cornering ?(max_delay = 4) ?(labels_per_search = 64) (sc : Scenario.t)
     if Bitset.mem corrupted src || Bitset.mem corrupted dst then 1
     else begin
       let tag = Packed.tag msg in
-      if (tag = Packed.tag_fw1 || tag = Packed.tag_fw2) && Bitset.mem corrupted (Packed.x msg)
+      if (tag = Packed.tag_fw1 || tag = Packed.tag_fw2) && Bitset.mem corrupted (Packed.x lt msg)
       then 1
       else max_delay
     end

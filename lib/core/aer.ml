@@ -6,6 +6,7 @@ module Packed = Msg.Packed
 type config = {
   params : Params.t;
   scenario : Scenario.t;
+  layout : Msg.Layout.t;  (* the scenario's packed field widths *)
   intern : Intern.t;  (* the scenario's string/label interner *)
   qi : Cache.t;  (* push quorums I *)
   qh : Cache.t;  (* pull quorums H *)
@@ -23,16 +24,19 @@ let compile_default () = Sys.getenv_opt "FBA_NO_COMPILE" = None
 
 let config_of_scenario ?(strict_drop = false) ?events ?compile (scenario : Scenario.t) =
   let params = scenario.Scenario.params in
+  let layout = scenario.Scenario.layout in
   let intern = scenario.Scenario.intern in
   let find s = Intern.find intern s in
+  let rid_bits = layout.Msg.Layout.rid_bits in
   let si = Params.sampler_i params in
   {
     params;
     scenario;
+    layout;
     intern;
     qi = Cache.create ~find si;
     qh = Cache.create ~find (Params.sampler_h params);
-    qj = Cache.create ~find (Params.sampler_j params);
+    qj = Cache.create ~find ~rid_bits (Params.sampler_j params);
     plan = Push_plan.create ~find ~sampler:si ();
     strict_drop;
     events;
@@ -42,6 +46,7 @@ let config_of_scenario ?(strict_drop = false) ?events ?compile (scenario : Scena
 
 let config_params c = c.params
 let config_scenario c = c.scenario
+let config_layout c = c.layout
 let config_intern c = c.intern
 let config_compiled c = c.compiled
 
@@ -58,8 +63,8 @@ let compile cfg =
    ids. Handlers never materialize the variant form. *)
 type msg = Packed.t
 
-let pack cfg m = Packed.pack cfg.intern m
-let unpack cfg p = Packed.unpack cfg.intern p
+let pack cfg m = Packed.pack cfg.layout cfg.intern m
+let unpack cfg p = Packed.unpack cfg.layout cfg.intern p
 
 (* Small imperative helpers over Hashtbl-as-set (poll answers only —
    everything else lives in Int_table / position masks below). *)
@@ -76,20 +81,23 @@ let set_card = Hashtbl.length
 
 (* The historical tables were keyed by (x, s) or (s, x) tuples; with
    both coordinates now small ints the pair packs into one immediate
-   key, so every probe is hash-of-int with no per-lookup boxing. *)
-let key_xs ~x ~sid = (x lsl 13) lor sid
-let key_sx ~sid ~x = (sid lsl 13) lor x
+   key, so every probe is hash-of-int with no per-lookup boxing. The
+   shifts are the run layout's field widths — wide layouts widen the
+   keys along with the wire words. *)
+let key_xs (lt : Msg.Layout.t) ~x ~sid = (x lsl lt.Msg.Layout.sid_bits) lor sid
+let key_sx (lt : Msg.Layout.t) ~sid ~x = (sid lsl lt.Msg.Layout.id_bits) lor x
 
 (* Quorum-position sets: a member is identified by its index in the
    fixed quorum the verifying scan just walked (Cache.pos_sid), so
-   presence is one bit of a 62-bit mask at key [key * 133 + pos / 62]
-   (133 > 8191/62: slots never collide across keys for any d <= n <=
-   8192) and cardinality lives in a parallel counter table. Returns
-   the new cardinality, or -1 if the member was already present —
-   a single table probe either way, no hashing of node ids and no
-   per-element storage. *)
-let mask_add masks counts ~key ~pos =
-  if Int_table.add_bit masks ((key * 133) + (pos / 62)) ~bit:(pos mod 62) then
+   presence is one bit of a 62-bit mask at key [key * mult + pos / 62]
+   — [mult] is the layout's [mask_mult], the smallest stride clearing
+   [(max_n - 1) / 62], so slots never collide across keys for any
+   d <= n <= max_n — and cardinality lives in a parallel counter
+   table. Returns the new cardinality, or -1 if the member was already
+   present — a single table probe either way, no hashing of node ids
+   and no per-element storage. *)
+let mask_add masks counts ~mult ~key ~pos =
+  if Int_table.add_bit masks ((key * mult) + (pos / 62)) ~bit:(pos mod 62) then
     Int_table.incr counts key
   else -1
 
@@ -182,8 +190,8 @@ let issue_poll ?(round = 0) cfg st ~emit sid =
     p.p_issued <- round
   | exception Not_found ->
     Hashtbl.replace st.polls sid { p_rid = rid; p_answers = set (); p_attempts = 1; p_issued = round });
-  let poll_msg = Packed.poll ~sid ~rid in
-  let pull_msg = Packed.pull ~sid ~rid in
+  let poll_msg = Packed.poll cfg.layout ~sid ~rid in
+  let pull_msg = Packed.pull cfg.layout ~sid ~rid in
   let qj = Cache.quorum_rid cfg.qj ~x:id ~rid ~r in
   for i = 0 to Array.length qj - 1 do
     emit qj.(i) poll_msg
@@ -196,19 +204,21 @@ let issue_poll ?(round = 0) cfg st ~emit sid =
 (* Algorithm 3's answer emission, gated by the log² n filter: an
    overloaded node waits until it has decided before answering more. *)
 let try_answer cfg st ~emit sid x =
+  let lt = cfg.layout in
   if
-    Int_table.mem st.polled (key_xs ~x ~sid)
-    && (not (Int_table.mem st.answered (key_xs ~x ~sid)))
-    && Int_table.get_or st.fw2_counts (key_sx ~sid ~x) ~default:0 >= Params.majority_h cfg.params
+    Int_table.mem st.polled (key_xs lt ~x ~sid)
+    && (not (Int_table.mem st.answered (key_xs lt ~x ~sid)))
+    && Int_table.get_or st.fw2_counts (key_sx lt ~sid ~x) ~default:0
+       >= Params.majority_h cfg.params
   then begin
     let cnt = Int_table.get_or st.answer_counts sid ~default:0 in
     if st.decided_sid >= 0 || cnt < cfg.params.Params.pull_filter then begin
       Int_table.set st.answer_counts sid (cnt + 1);
-      ignore (Int_table.add st.answered (key_xs ~x ~sid));
+      ignore (Int_table.add st.answered (key_xs lt ~x ~sid));
       st.answers_emitted <- st.answers_emitted + 1;
-      emit x (Packed.answer ~sid)
+      emit x (Packed.answer lt ~sid)
     end
-    else Vec.push st.muted (key_sx ~sid ~x)
+    else Vec.push st.muted (key_sx lt ~sid ~x)
   end
 
 (* Push phase acceptance: s enters L_x on a strict majority of I(s, x). *)
@@ -218,7 +228,9 @@ let rec handle_push cfg st ~emit ~src sid =
     let id = st.ctx.Fba_sim.Ctx.id in
     let pos = Cache.pos_sid cfg.qi ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src in
     if pos >= 0 then begin
-      let c = mask_add st.push_masks st.push_counts ~key:sid ~pos in
+      let c =
+        mask_add st.push_masks st.push_counts ~mult:cfg.layout.Msg.Layout.mask_mult ~key:sid ~pos
+      in
       if c >= Params.majority_i cfg.params then begin
         ignore (Int_table.add st.candidates sid);
         issue_poll cfg st ~emit sid
@@ -227,27 +239,30 @@ let rec handle_push cfg st ~emit ~src sid =
   end
 
 and handle_poll cfg st ~emit ~src p =
-  let sid = Packed.sid p and rid = Packed.rid p in
+  let lt = cfg.layout in
+  let sid = Packed.sid lt p and rid = Packed.rid lt p in
   let id = st.ctx.Fba_sim.Ctx.id in
   if Cache.mem_rid cfg.qj ~x:src ~rid ~r:(Intern.label cfg.intern rid) ~y:id then begin
-    ignore (Int_table.add st.polled (key_xs ~x:src ~sid));
+    ignore (Int_table.add st.polled (key_xs lt ~x:src ~sid));
     (* The Fw2 majority may already be in (asynchronous reordering):
        Algorithm 3's Poll handler answers immediately in that case. *)
     try_answer cfg st ~emit sid src
   end
 
 and handle_pull cfg st ~emit ~src p =
-  let sid = Packed.sid p in
+  let lt = cfg.layout in
+  let sid = Packed.sid lt p in
   if sid <> st.belief then defer cfg st ~src p
   else begin
-    let rid = Packed.rid p in
-    let key = key_xs ~x:src ~sid in
+    let rid = Packed.rid lt p in
+    let key = key_xs lt ~x:src ~sid in
+    let lkey = (key lsl lt.Msg.Layout.rid_bits) lor rid in
     if
-      Int_table.mem st.pull_labels ((key lsl 20) lor rid)
+      Int_table.mem st.pull_labels lkey
       || Int_table.get_or st.pull_counts key ~default:0 >= cfg.params.Params.max_poll_attempts
     then ()
     else begin
-      ignore (Int_table.add st.pull_labels ((key lsl 20) lor rid));
+      ignore (Int_table.add st.pull_labels lkey);
       ignore (Int_table.incr st.pull_counts key);
       let id = st.ctx.Fba_sim.Ctx.id in
       let s = Intern.string cfg.intern sid in
@@ -261,7 +276,7 @@ and handle_pull cfg st ~emit ~src p =
         let qj = Cache.quorum_rid cfg.qj ~x:src ~rid ~r in
         for wi = Array.length qj - 1 downto 0 do
           let w = qj.(wi) in
-          let m = Packed.fw1 ~sid ~rid ~x:src ~w in
+          let m = Packed.fw1 lt ~sid ~rid ~x:src ~w in
           let zq = Cache.quorum_sid cfg.qh ~sid ~s ~x:w in
           for zi = Array.length zq - 1 downto 0 do
             emit zq.(zi) m
@@ -272,10 +287,11 @@ and handle_pull cfg st ~emit ~src p =
   end
 
 and handle_fw1 cfg st ~emit ~src p =
-  let sid = Packed.sid p in
+  let lt = cfg.layout in
+  let sid = Packed.sid lt p in
   if sid <> st.belief then defer cfg st ~src p
   else begin
-    let rid = Packed.rid p and x = Packed.x p and w = Packed.w p in
+    let rid = Packed.rid lt p and x = Packed.x lt p and w = Packed.w lt p in
     let id = st.ctx.Fba_sim.Ctx.id in
     let s = Intern.string cfg.intern sid in
     if Cache.mem_sid cfg.qh ~sid ~s ~x:w ~y:id then begin
@@ -284,7 +300,7 @@ and handle_fw1 cfg st ~emit ~src p =
       let spos = Cache.pos_sid cfg.qh ~sid ~s ~x ~y:src in
       if spos >= 0 && Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:w
       then begin
-        let tkey = key_sx ~sid ~x in
+        let tkey = key_sx lt ~sid ~x in
         let targets =
           match Hashtbl.find st.fw1_targets tkey with
           | t -> t
@@ -294,7 +310,9 @@ and handle_fw1 cfg st ~emit ~src p =
             t
         in
         if not (Hashtbl.mem targets w) then Hashtbl.add targets w rid;
-        let c_new = mask_add st.f1s_masks st.f1s_counts ~key:tkey ~pos:spos in
+        let c_new =
+          mask_add st.f1s_masks st.f1s_counts ~mult:lt.Msg.Layout.mask_mult ~key:tkey ~pos:spos
+        in
         let newly = c_new >= 0 in
         let c = if newly then c_new else Int_table.get_or st.f1s_counts tkey ~default:0 in
         let maj = Params.majority_h cfg.params in
@@ -309,32 +327,37 @@ and handle_fw1 cfg st ~emit ~src p =
             Vec.clear st.scratch_rid;
             Hashtbl.iter
               (fun w rid ->
-                if Int_table.add st.f1_served ((tkey lsl 13) lor w) then begin
+                if Int_table.add st.f1_served ((tkey lsl lt.Msg.Layout.id_bits) lor w) then begin
                   Vec.push st.scratch_w w;
                   Vec.push st.scratch_rid rid
                 end)
               targets;
             for i = Vec.length st.scratch_w - 1 downto 0 do
-              emit (Vec.get st.scratch_w i) (Packed.fw2 ~sid ~rid:(Vec.get st.scratch_rid i) ~x)
+              emit (Vec.get st.scratch_w i)
+                (Packed.fw2 lt ~sid ~rid:(Vec.get st.scratch_rid i) ~x)
             done
           end
-          else if Int_table.add st.f1_served ((tkey lsl 13) lor w) then
-            emit w (Packed.fw2 ~sid ~rid ~x)
+          else if Int_table.add st.f1_served ((tkey lsl lt.Msg.Layout.id_bits) lor w) then
+            emit w (Packed.fw2 lt ~sid ~rid ~x)
         end
       end
     end
   end
 
 and handle_fw2 cfg st ~emit ~src p =
-  let sid = Packed.sid p in
+  let lt = cfg.layout in
+  let sid = Packed.sid lt p in
   if sid <> st.belief then defer cfg st ~src p
   else begin
-    let rid = Packed.rid p and x = Packed.x p in
+    let rid = Packed.rid lt p and x = Packed.x lt p in
     let id = st.ctx.Fba_sim.Ctx.id in
     if Cache.mem_rid cfg.qj ~x ~rid ~r:(Intern.label cfg.intern rid) ~y:id then begin
       let spos = Cache.pos_sid cfg.qh ~sid ~s:(Intern.string cfg.intern sid) ~x:id ~y:src in
       if spos >= 0 then begin
-        let c = mask_add st.fw2_masks st.fw2_counts ~key:(key_sx ~sid ~x) ~pos:spos in
+        let c =
+          mask_add st.fw2_masks st.fw2_counts ~mult:lt.Msg.Layout.mask_mult
+            ~key:(key_sx lt ~sid ~x) ~pos:spos
+        in
         if c >= 0 then try_answer cfg st ~emit sid x
       end
     end
@@ -359,19 +382,22 @@ and handle_answer cfg st ~emit ~src sid =
    Handlers cannot append to either backlog once decided_sid is set, so
    iterating the live lanes (chronological order) is a snapshot. *)
 and decide cfg st ~emit sid =
+  let lt = cfg.layout in
   st.decided_sid <- sid;
   st.belief <- sid;
   for i = 0 to Vec.length st.deferred_msg - 1 do
     let m = Vec.get st.deferred_msg i in
     (* Only Pull/Fw1/Fw2 are ever deferred; replay the ones matching
        the decided string, drop the rest. *)
-    if Packed.sid m = sid then dispatch cfg st ~emit ~src:(Vec.get st.deferred_src i) m
+    if Packed.sid lt m = sid then dispatch cfg st ~emit ~src:(Vec.get st.deferred_src i) m
   done;
   Vec.clear st.deferred_src;
   Vec.clear st.deferred_msg;
   for i = 0 to Vec.length st.muted - 1 do
+    (* muted holds key_sx-packed (s, x) pairs; split on the layout. *)
     let k = Vec.get st.muted i in
-    if k lsr 13 = sid then try_answer cfg st ~emit sid (k land 0x1FFF)
+    if k lsr lt.Msg.Layout.id_bits = sid then
+      try_answer cfg st ~emit sid (k land lt.Msg.Layout.id_mask)
   done;
   Vec.clear st.muted
 
@@ -392,23 +418,23 @@ and dispatch cfg st ~emit ~src p =
     (Array.unsafe_get handler_table (Packed.tag p)) cfg st ~emit ~src p
   | None ->
     let tag = Packed.tag p in
-    if tag = Packed.tag_push then handle_push cfg st ~emit ~src (Packed.sid p)
+    if tag = Packed.tag_push then handle_push cfg st ~emit ~src (Packed.sid cfg.layout p)
     else if tag = Packed.tag_poll then handle_poll cfg st ~emit ~src p
     else if tag = Packed.tag_pull then handle_pull cfg st ~emit ~src p
     else if tag = Packed.tag_fw1 then handle_fw1 cfg st ~emit ~src p
     else if tag = Packed.tag_fw2 then handle_fw2 cfg st ~emit ~src p
-    else if tag = Packed.tag_answer then handle_answer cfg st ~emit ~src (Packed.sid p)
+    else if tag = Packed.tag_answer then handle_answer cfg st ~emit ~src (Packed.sid cfg.layout p)
     else invalid_arg "Aer: invalid packed message"
 
 let () =
   handler_table.(Packed.tag_push) <-
-    (fun cfg st ~emit ~src p -> handle_push cfg st ~emit ~src (Packed.sid p));
+    (fun cfg st ~emit ~src p -> handle_push cfg st ~emit ~src (Packed.sid cfg.layout p));
   handler_table.(Packed.tag_poll) <- handle_poll;
   handler_table.(Packed.tag_pull) <- handle_pull;
   handler_table.(Packed.tag_fw1) <- handle_fw1;
   handler_table.(Packed.tag_fw2) <- handle_fw2;
   handler_table.(Packed.tag_answer) <-
-    (fun cfg st ~emit ~src p -> handle_answer cfg st ~emit ~src (Packed.sid p))
+    (fun cfg st ~emit ~src p -> handle_answer cfg st ~emit ~src (Packed.sid cfg.layout p))
 
 let init cfg ctx =
   let id = ctx.Fba_sim.Ctx.id in
@@ -449,7 +475,7 @@ let init cfg ctx =
   mark cfg st "push";
   let acc = ref [] in
   let emit dst m = acc := (dst, m) :: !acc in
-  let push_msg = Packed.push ~sid:sid0 in
+  let push_msg = Packed.push cfg.layout ~sid:sid0 in
   (match cfg.compiled with
   | Some cp ->
     (* The compiled CSR row is Push_plan.targets, precomputed. *)
@@ -510,7 +536,7 @@ let output st = if st.decided_sid < 0 then None else Some (Intern.string st.inte
 let msg_bits cfg m =
   match cfg.compiled with
   | Some cp -> Compiled.bits cp m
-  | None -> Packed.bits cfg.params cfg.intern m
+  | None -> Packed.bits cfg.layout cfg.params cfg.intern m
 
 (* Profiler slots are the packed wire tags — the same indices the
    Compiled dispatch jump table is keyed by, so per-slot hit/time
@@ -523,7 +549,7 @@ let profiler_tags =
 let msg_tags _cfg = profiler_tags
 let msg_tag _cfg p = Packed.tag p
 
-let pp_msg (cfg : config) = Packed.pp cfg.intern
+let pp_msg (cfg : config) = Packed.pp cfg.layout cfg.intern
 
 let belief st = Intern.string st.intern st.belief
 let decided st = output st

@@ -48,6 +48,11 @@ val config_of_scenario :
 val config_params : config -> Params.t
 val config_scenario : config -> Scenario.t
 
+val config_layout : config -> Msg.Layout.t
+(** The packed field widths of the run — the same value as
+    [(config_scenario cfg).layout]; every word this config packs or
+    decodes uses it. *)
+
 val config_compiled : config -> Compiled.t option
 (** The lowered run structure, once {!Fba_sim.Protocol.S.compile} has
     run on a config created with [~compile:true] ([None] otherwise). *)

@@ -85,7 +85,7 @@ let run_sync ?(mode = `Rushing) ?aeba_adversary ?aer_adversary ?per_run_miss ?ev
           | Some v -> v
           | None -> Printf.sprintf "straggler-%d" i)
     in
-    let scenario = Scenario.of_assignment ~params ~gstring ~corrupted ~initial in
+    let scenario = Scenario.of_assignment ~params ~gstring ~corrupted ~initial () in
     let cfg = Aer.config_of_scenario ?events scenario in
     let aer_adv =
       match aer_adversary with

@@ -1,7 +1,8 @@
 open Fba_stdx
 
-(* Capacity limits come from the packed message layout (Msg.Packed):
-   string ids ride in a 13-bit field, label ids in a 20-bit field. *)
+(* Default capacity limits — the narrow packed layout's field widths
+   (Msg.Layout.narrow: 13-bit sid, 20-bit rid). Wide-layout scenarios
+   create their interner with the caps of their own layout. *)
 let max_strings = 1 lsl 13
 let max_labels = 1 lsl 20
 
@@ -10,15 +11,22 @@ type t = {
   strings : string Vec.t;
   by_label : int I64_table.t;
   labels : int64 Vec.t;
+  string_cap : int;
+  label_cap : int;
 }
 
-let create () =
+let create ?(max_strings = max_strings) ?(max_labels = max_labels) () =
   {
     by_string = Hashtbl.create 64;
     strings = Vec.create ();
     by_label = I64_table.create ();
     labels = Vec.create ();
+    string_cap = max_strings;
+    label_cap = max_labels;
   }
+
+let string_cap t = t.string_cap
+let label_cap t = t.label_cap
 
 let string_count t = Vec.length t.strings
 let label_count t = Vec.length t.labels
@@ -28,8 +36,12 @@ let intern t s =
   | sid -> sid
   | exception Not_found ->
     let sid = Vec.length t.strings in
-    if sid >= max_strings then
-      failwith "Intern.intern: string table full (packed sid field is 13 bits)";
+    if sid >= t.string_cap then
+      failwith
+        (Printf.sprintf
+           "Intern.intern: string table full (the layout's sid field caps a run at %d \
+            distinct strings)"
+           t.string_cap);
     Hashtbl.add t.by_string s sid;
     Vec.push t.strings s;
     sid
@@ -43,8 +55,12 @@ let intern_label t r =
   | rid -> rid
   | exception Not_found ->
     let rid = Vec.length t.labels in
-    if rid >= max_labels then
-      failwith "Intern.intern_label: label table full (packed rid field is 20 bits)";
+    if rid >= t.label_cap then
+      failwith
+        (Printf.sprintf
+           "Intern.intern_label: label table full (the layout's rid field caps a run at %d \
+            distinct labels)"
+           t.label_cap);
     I64_table.set t.by_label r rid;
     Vec.push t.labels r;
     rid

@@ -9,21 +9,30 @@
     An interner belongs to one {!Scenario.t} (multicore sweeps build
     one scenario — hence one interner — per grid cell, so no table is
     ever shared across domains). Registration is idempotent: replaying
-    the same run against a warm interner reassigns identical ids. *)
+    the same run against a warm interner reassigns identical ids.
+
+    Table capacities mirror the scenario's packed {!Msg.Layout}: an id
+    must fit its field. {!create}'s defaults are the narrow layout's
+    caps; wide-layout scenarios pass their own. *)
 
 type t
 
-val create : unit -> t
+val create : ?max_strings:int -> ?max_labels:int -> unit -> t
+(** Caps default to {!max_strings} and {!max_labels} (the narrow
+    layout's field widths). *)
 
 val max_strings : int
-(** 2¹³ — the packed sid field width. *)
+(** 2¹³ — the narrow layout's sid field width (default string cap). *)
 
 val max_labels : int
-(** 2²⁰ — the packed rid field width. *)
+(** 2²⁰ — the narrow layout's rid field width (default label cap). *)
+
+val string_cap : t -> int
+val label_cap : t -> int
 
 val intern : t -> string -> int
 (** Id of the string, registering it first if unseen. Raises [Failure]
-    beyond {!max_strings} distinct strings. *)
+    beyond {!string_cap} distinct strings. *)
 
 val find : t -> string -> int
 (** Id of the string, or [-1] if it was never registered. *)
@@ -35,7 +44,7 @@ val string_count : t -> int
 
 val intern_label : t -> int64 -> int
 (** Id of the label, registering it first if unseen. Raises [Failure]
-    beyond {!max_labels} distinct labels. *)
+    beyond {!label_cap} distinct labels. *)
 
 val label : t -> int -> int64
 (** Inverse of {!intern_label}; the returned box is shared. *)

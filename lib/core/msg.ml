@@ -1,3 +1,5 @@
+open Fba_stdx
+
 type t =
   | Push of string
   | Poll of { s : string; r : int64 }
@@ -33,16 +35,118 @@ let pp fmt = function
 
 type msg = t
 
+(* The field widths of the packed word, first-class. The packing order
+   is fixed — [tag:3 | sid | rid | x | w], LSB first — only the widths
+   move. Everything the rest of the plane needs (shifts, masks, caps,
+   the position-mask multiplier) is precomputed here so the hot paths
+   pay one record load where they used to pay a literal. *)
+module Layout = struct
+  type t = {
+    sid_bits : int;
+    rid_bits : int;
+    id_bits : int;
+    rid_shift : int;
+    x_shift : int;
+    w_shift : int;
+    sid_mask : int;
+    rid_mask : int;
+    id_mask : int;
+    max_n : int;  (* 2^id_bits — node ids and embedded x/w fields *)
+    max_strings : int;  (* 2^sid_bits — interner string-table cap *)
+    max_labels : int;  (* 2^rid_bits — interner label-table cap *)
+    mask_mult : int;
+        (* quorum-position bitmask key stride: smallest m with
+           m * 62 >= max key component, so [key * mask_mult + pos / 62]
+           never collides across keys (Aer.mask_add) *)
+  }
+
+  let total_bits t = 3 + t.sid_bits + t.rid_bits + (2 * t.id_bits)
+
+  let make ~sid_bits ~rid_bits ~id_bits =
+    if sid_bits < 1 || rid_bits < 1 || id_bits < 1 then
+      invalid_arg "Msg.Layout.make: field widths must be positive";
+    let total = 3 + sid_bits + rid_bits + (2 * id_bits) in
+    if total > 63 then
+      invalid_arg
+        (Printf.sprintf
+           "Msg.Layout.make: tag:3|sid:%d|rid:%d|x:%d|w:%d needs %d bits; only 63 fit an \
+            OCaml immediate"
+           sid_bits rid_bits id_bits id_bits total);
+    {
+      sid_bits;
+      rid_bits;
+      id_bits;
+      rid_shift = 3 + sid_bits;
+      x_shift = 3 + sid_bits + rid_bits;
+      w_shift = 3 + sid_bits + rid_bits + id_bits;
+      sid_mask = (1 lsl sid_bits) - 1;
+      rid_mask = (1 lsl rid_bits) - 1;
+      id_mask = (1 lsl id_bits) - 1;
+      max_n = 1 lsl id_bits;
+      max_strings = 1 lsl sid_bits;
+      max_labels = 1 lsl rid_bits;
+      mask_mult = (((1 lsl id_bits) - 1) / 62) + 1;
+    }
+
+  (* The historical single-int layout, verbatim — the fast path every
+     golden and BENCH gate pins. *)
+  let narrow = make ~sid_bits:13 ~rid_bits:20 ~id_bits:13
+
+  let is_narrow t = t.sid_bits = 13 && t.rid_bits = 20 && t.id_bits = 13
+
+  (* The wide lane: node ids get exactly what n needs (floor 14, so a
+     forced-wide run at small n genuinely exercises non-narrow shifts),
+     strings get ~2x headroom over the initial distinct count (room for
+     adversarial registrations), and the poll-label field absorbs every
+     remaining bit — labels are drawn fresh per poll, so rid is the
+     field that scales with n. *)
+  let wide_for ~n ~strings =
+    if n < 1 then invalid_arg "Msg.Layout.wide_for: n must be positive";
+    let id_bits = max 14 (Intx.ceil_log2 (max 2 n)) in
+    let sid_bits = max 4 (Intx.ceil_log2 (2 * (strings + 2))) in
+    let rid_bits = min 30 (60 - (2 * id_bits) - sid_bits) in
+    if rid_bits < id_bits + 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Msg.Layout.wide_for: n=%d with %d distinct strings needs sid:%d + x/w:%d bits, \
+            leaving rid:%d < %d — the run would exhaust poll labels; use fewer distinct \
+            initial strings (Scenario.Junk_shared) or a smaller n"
+           n strings sid_bits id_bits rid_bits (id_bits + 1));
+    make ~sid_bits ~rid_bits ~id_bits
+
+  type choice = Auto | Narrow | Wide
+
+  let choose choice ~n ~strings =
+    match choice with
+    | Narrow ->
+      if n > narrow.max_n then
+        invalid_arg
+          (Printf.sprintf
+             "Msg.Layout.choose: Narrow caps node ids at %d bits (n <= %d), got n=%d"
+             narrow.id_bits narrow.max_n n)
+      else if strings > narrow.max_strings then
+        invalid_arg
+          (Printf.sprintf
+             "Msg.Layout.choose: Narrow caps distinct strings at %d, got %d"
+             narrow.max_strings strings)
+      else narrow
+    | Wide -> wide_for ~n ~strings
+    | Auto -> if n <= narrow.max_n && strings <= narrow.max_strings then narrow else wide_for ~n ~strings
+
+  let pp fmt t =
+    Format.fprintf fmt "tag:3|sid:%d|rid:%d|x:%d|w:%d (%d bits, n<=%d)" t.sid_bits t.rid_bits
+      t.id_bits t.id_bits (total_bits t) t.max_n
+end
+
 (* The packed twin: one OCaml immediate per message, so mailboxes and
    calendar buckets hold unboxed ints and enqueue/deliver never touch
    the heap. Strings and labels are replaced by {!Intern} ids; the
-   layout (LSB first)
+   field widths come from the run's {!Layout} (LSB first)
 
-     tag:3 | sid:13 | rid:20 | x:13 | w:13   = 62 bits
+     tag:3 | sid | rid | x | w
 
-   fits a 63-bit immediate. Field widths bound a run at n <= 8192
-   identities, 2^13 distinct strings and 2^20 distinct labels — all
-   checked at pack time. Tag 0 is deliberately invalid so an
+   and always fit a 63-bit immediate. All fields are checked at pack
+   time against the layout's caps. Tag 0 is deliberately invalid so an
    uninitialized slot can never decode. *)
 module Packed = struct
   type t = int
@@ -55,60 +159,79 @@ module Packed = struct
   let tag_answer = 6
 
   let tag p = p land 7
-  let sid p = (p lsr 3) land 0x1FFF
-  let rid p = (p lsr 16) land 0xFFFFF
-  let x p = (p lsr 36) land 0x1FFF
-  let w p = (p lsr 49) land 0x1FFF
+  let sid (lt : Layout.t) p = (p lsr 3) land lt.Layout.sid_mask
+  let rid (lt : Layout.t) p = (p lsr lt.Layout.rid_shift) land lt.Layout.rid_mask
+  let x (lt : Layout.t) p = (p lsr lt.Layout.x_shift) land lt.Layout.id_mask
+  let w (lt : Layout.t) p = (p lsr lt.Layout.w_shift) land lt.Layout.id_mask
 
-  let check_sid v = if v lsr 13 <> 0 then invalid_arg "Msg.Packed: sid out of range" else v
-  let check_rid v = if v lsr 20 <> 0 then invalid_arg "Msg.Packed: rid out of range" else v
-  let check_id name v =
-    if v lsr 13 <> 0 then invalid_arg ("Msg.Packed: " ^ name ^ " out of range") else v
+  (* Cold path: name the field, the value and the bound it missed —
+     pulled out of the constructors so their fast path stays a shift
+     and a branch. *)
+  let field_overflow name v bits =
+    invalid_arg
+      (Printf.sprintf "Msg.Packed: %s=%d does not fit the layout's %d-bit %s field (max %d)"
+         name v bits name ((1 lsl bits) - 1))
 
-  let push ~sid = tag_push lor (check_sid sid lsl 3)
-  let poll ~sid ~rid = tag_poll lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
-  let pull ~sid ~rid = tag_pull lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
+  let check_sid (lt : Layout.t) v =
+    if v lsr lt.Layout.sid_bits <> 0 then field_overflow "sid" v lt.Layout.sid_bits else v
 
-  let fw1 ~sid ~rid ~x ~w =
-    tag_fw1 lor (check_sid sid lsl 3) lor (check_rid rid lsl 16)
-    lor (check_id "x" x lsl 36)
-    lor (check_id "w" w lsl 49)
+  let check_rid (lt : Layout.t) v =
+    if v lsr lt.Layout.rid_bits <> 0 then field_overflow "rid" v lt.Layout.rid_bits else v
 
-  let fw2 ~sid ~rid ~x =
-    tag_fw2 lor (check_sid sid lsl 3) lor (check_rid rid lsl 16) lor (check_id "x" x lsl 36)
+  let check_id (lt : Layout.t) name v =
+    if v lsr lt.Layout.id_bits <> 0 then field_overflow name v lt.Layout.id_bits else v
 
-  let answer ~sid = tag_answer lor (check_sid sid lsl 3)
+  let push (lt : Layout.t) ~sid = tag_push lor (check_sid lt sid lsl 3)
 
-  let pack intern m =
+  let poll (lt : Layout.t) ~sid ~rid =
+    tag_poll lor (check_sid lt sid lsl 3) lor (check_rid lt rid lsl lt.Layout.rid_shift)
+
+  let pull (lt : Layout.t) ~sid ~rid =
+    tag_pull lor (check_sid lt sid lsl 3) lor (check_rid lt rid lsl lt.Layout.rid_shift)
+
+  let fw1 (lt : Layout.t) ~sid ~rid ~x ~w =
+    tag_fw1 lor (check_sid lt sid lsl 3)
+    lor (check_rid lt rid lsl lt.Layout.rid_shift)
+    lor (check_id lt "x" x lsl lt.Layout.x_shift)
+    lor (check_id lt "w" w lsl lt.Layout.w_shift)
+
+  let fw2 (lt : Layout.t) ~sid ~rid ~x =
+    tag_fw2 lor (check_sid lt sid lsl 3)
+    lor (check_rid lt rid lsl lt.Layout.rid_shift)
+    lor (check_id lt "x" x lsl lt.Layout.x_shift)
+
+  let answer (lt : Layout.t) ~sid = tag_answer lor (check_sid lt sid lsl 3)
+
+  let pack lt intern m =
     match m with
-    | Push s -> push ~sid:(Intern.intern intern s)
-    | Poll { s; r } -> poll ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
-    | Pull { s; r } -> pull ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
+    | Push s -> push lt ~sid:(Intern.intern intern s)
+    | Poll { s; r } -> poll lt ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
+    | Pull { s; r } -> pull lt ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r)
     | Fw1 { x; s; r; w } ->
-      fw1 ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x ~w
+      fw1 lt ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x ~w
     | Fw2 { x; s; r } ->
-      fw2 ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x
-    | Answer s -> answer ~sid:(Intern.intern intern s)
+      fw2 lt ~sid:(Intern.intern intern s) ~rid:(Intern.intern_label intern r) ~x
+    | Answer s -> answer lt ~sid:(Intern.intern intern s)
 
-  let unpack intern p =
-    let s () = Intern.string intern (sid p) in
-    let r () = Intern.label intern (rid p) in
+  let unpack lt intern p =
+    let s () = Intern.string intern (sid lt p) in
+    let r () = Intern.label intern (rid lt p) in
     match tag p with
     | 1 -> Push (s ())
     | 2 -> Poll { s = s (); r = r () }
     | 3 -> Pull { s = s (); r = r () }
-    | 4 -> Fw1 { x = x p; s = s (); r = r (); w = w p }
-    | 5 -> Fw2 { x = x p; s = s (); r = r () }
+    | 4 -> Fw1 { x = x lt p; s = s (); r = r (); w = w lt p }
+    | 5 -> Fw2 { x = x lt p; s = s (); r = r () }
     | 6 -> Answer (s ())
     | _ -> invalid_arg "Msg.Packed.unpack: invalid tag"
 
   (* Same accounting as [bits] above, reading field presence off the
      tag instead of the constructor — kept in exact agreement (the
      packed-codec qcheck property pins this). *)
-  let bits params intern p =
+  let bits lt params intern p =
     let id = Params.id_bits params in
     let header = 8 + (2 * id) in
-    let str = 8 * String.length (Intern.string intern (sid p)) in
+    let str = 8 * String.length (Intern.string intern (sid lt p)) in
     let payload =
       match tag p with
       | 1 | 6 -> str
@@ -119,5 +242,5 @@ module Packed = struct
     in
     header + payload
 
-  let pp intern fmt p = pp fmt (unpack intern p)
+  let pp lt intern fmt p = pp fmt (unpack lt intern p)
 end

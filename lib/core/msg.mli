@@ -23,19 +23,82 @@ type t =
 val bits : Params.t -> t -> int
 (** Wire size in bits: an 8-bit tag, source and destination headers of
     ⌈log₂ n⌉ bits each, plus the payload (strings cost 8 bits per
-    byte, labels {!Params.label_bits}, embedded identities ⌈log₂ n⌉). *)
+    byte, labels {!Params.label_bits}, embedded identities ⌈log₂ n⌉).
+    Wire accounting is a property of [params], not of the packed
+    {!Layout} — forcing the wide layout never changes measured bits. *)
 
 val pp : Format.formatter -> t -> unit
 
 type msg = t
 (** Alias so {!Packed} (whose own [t] is [int]) can name the variant. *)
 
+(** First-class field widths for the packed plane. The packing order is
+    fixed ([tag:3 | sid | rid | x | w], LSB first); a layout chooses
+    the widths and precomputes every shift, mask and capacity the hot
+    paths need. {!narrow} is the historical
+    [tag:3|sid:13|rid:20|x:13|w:13] layout, kept verbatim as the fast
+    path for n ≤ 8192; {!wide_for} computes a layout for larger
+    populations from [n] and the number of distinct initial strings.
+    A layout belongs to a {!Scenario.t} and must be used consistently
+    for every word of a run. *)
+module Layout : sig
+  type t = private {
+    sid_bits : int;  (** string-id field width *)
+    rid_bits : int;  (** poll-label-id field width *)
+    id_bits : int;  (** node-id field width (the x and w fields) *)
+    rid_shift : int;
+    x_shift : int;
+    w_shift : int;
+    sid_mask : int;
+    rid_mask : int;
+    id_mask : int;
+    max_n : int;  (** [2^id_bits] — the population the layout can address *)
+    max_strings : int;  (** [2^sid_bits] — interner string-table cap *)
+    max_labels : int;  (** [2^rid_bits] — interner label-table cap *)
+    mask_mult : int;
+        (** key stride for quorum-position bitmasks: the smallest [m]
+            with [m * 62 >= max_n - 1], so
+            [key * mask_mult + pos / 62] never collides across keys
+            for any quorum degree d ≤ n ≤ [max_n] *)
+  }
+
+  val make : sid_bits:int -> rid_bits:int -> id_bits:int -> t
+  (** Raises [Invalid_argument] when the fields plus the 3-bit tag
+      exceed the 63 bits of an OCaml immediate. *)
+
+  val narrow : t
+  (** [tag:3|sid:13|rid:20|x:13|w:13] — 62 bits, n ≤ 8192. *)
+
+  val is_narrow : t -> bool
+
+  val wide_for : n:int -> strings:int -> t
+  (** Layout for a population of [n] nodes whose scenario starts with
+      [strings] distinct candidate strings: node ids get
+      [max 14 ⌈log₂ n⌉] bits, strings roughly 2× headroom over
+      [strings], and the label field every remaining bit. Raises
+      [Invalid_argument] (naming the starved field) when the widths
+      cannot fit 63 bits — e.g. n = 262144 with hundreds of distinct
+      strings; {!Scenario.Junk_shared} keeps such runs feasible. *)
+
+  type choice = Auto | Narrow | Wide
+
+  val choose : choice -> n:int -> strings:int -> t
+  (** [Auto] picks {!narrow} whenever it fits ([n] and [strings] within
+      its caps) and {!wide_for} above that; [Narrow]/[Wide] force one
+      lane, raising [Invalid_argument] if [Narrow] cannot address the
+      population. *)
+
+  val total_bits : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
 (** The packed twin: one message as one OCaml immediate int, with
-    strings and labels replaced by {!Intern} ids. Layout (LSB first):
-    [tag:3 | sid:13 | rid:20 | x:13 | w:13] — 62 bits. The codec to
-    and from the variant is exact, and {!Packed.bits} agrees with
-    {!bits} on every message, so wire accounting is unchanged on the
-    packed plane. Field widths bound a run at n ≤ 8192. *)
+    strings and labels replaced by {!Intern} ids. Field widths come
+    from the run's {!Layout}; every function below must be given the
+    layout the word was packed with. The codec to and from the variant
+    is exact, and {!Packed.bits} agrees with {!bits} on every message,
+    so wire accounting is unchanged on the packed plane. *)
 module Packed : sig
   type t = int
 
@@ -47,30 +110,33 @@ module Packed : sig
   val tag_answer : int
 
   val tag : t -> int
-  val sid : t -> int
-  val rid : t -> int
-  val x : t -> int
-  val w : t -> int
+  (** The tag field lives in the low 3 bits under every layout, so it
+      needs no layout argument. *)
 
-  val push : sid:int -> t
-  val poll : sid:int -> rid:int -> t
-  val pull : sid:int -> rid:int -> t
-  val fw1 : sid:int -> rid:int -> x:int -> w:int -> t
-  val fw2 : sid:int -> rid:int -> x:int -> t
-  val answer : sid:int -> t
+  val sid : Layout.t -> t -> int
+  val rid : Layout.t -> t -> int
+  val x : Layout.t -> t -> int
+  val w : Layout.t -> t -> int
+
+  val push : Layout.t -> sid:int -> t
+  val poll : Layout.t -> sid:int -> rid:int -> t
+  val pull : Layout.t -> sid:int -> rid:int -> t
+  val fw1 : Layout.t -> sid:int -> rid:int -> x:int -> w:int -> t
+  val fw2 : Layout.t -> sid:int -> rid:int -> x:int -> t
+  val answer : Layout.t -> sid:int -> t
   (** Direct constructors; raise [Invalid_argument] on a field that
-      does not fit its packed width. *)
+      does not fit its packed width, naming the overflowing field, its
+      value and the layout's bound. *)
 
-  val pack : Intern.t -> msg -> t
+  val pack : Layout.t -> Intern.t -> msg -> t
   (** Intern the payloads and pack. *)
 
-  val unpack : Intern.t -> t -> msg
+  val unpack : Layout.t -> Intern.t -> t -> msg
   (** Exact inverse of {!pack} (for interned ids that exist). *)
 
-  val bits : Params.t -> Intern.t -> t -> int
-  (** Equals [bits params (unpack intern p)] without unpacking. *)
+  val bits : Layout.t -> Params.t -> Intern.t -> t -> int
+  (** Equals [bits params (unpack layout intern p)] without unpacking. *)
 
-  val pp : Intern.t -> Format.formatter -> t -> unit
+  val pp : Layout.t -> Intern.t -> Format.formatter -> t -> unit
   (** Renders exactly as {!pp} renders the unpacked message. *)
 end
-

@@ -8,21 +8,53 @@ type t = {
   corrupted : Bitset.t;
   knowledgeable : Bitset.t;
   initial : string array;
+  layout : Msg.Layout.t;
   intern : Intern.t;
 }
+
+(* The packed field widths are fixed before the interner exists: count
+   the distinct initial strings, choose a layout for (n, strings), and
+   cap the interner's tables at the layout's field capacities. *)
+let distinct_strings ~gstring ~initial =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen gstring ();
+  Array.iter (fun s -> Hashtbl.replace seen s ()) initial;
+  Hashtbl.length seen
+
+(* FBA_WIDE=1 forces the wide layout everywhere an explicit choice is
+   not supplied — the ci-level A/B switch (the narrow-vs-wide analogue
+   of FBA_NO_COMPILE), needing no per-experiment plumbing. *)
+let layout_default () =
+  match Sys.getenv_opt "FBA_WIDE" with
+  | Some v when v <> "" && v <> "0" -> Msg.Layout.Wide
+  | Some _ | None -> Msg.Layout.Auto
+
+let layout_of ?layout ~params ~gstring ~initial () =
+  (* Auto defers to the environment: FBA_WIDE biases the automatic
+     pick but never overrides an explicit Narrow/Wide request. *)
+  let choice =
+    match layout with
+    | Some Msg.Layout.Auto | None -> layout_default ()
+    | Some c -> c
+  in
+  Msg.Layout.choose choice ~n:params.Params.n
+    ~strings:(distinct_strings ~gstring ~initial)
 
 (* Packed messages need every payload registered: seed the interner
    with gstring and the initial candidates in a fixed order, so ids
    are stable regardless of which node or adversary packs first. *)
-let intern_of ~gstring ~initial =
-  let intern = Intern.create () in
+let intern_of ~(layout : Msg.Layout.t) ~gstring ~initial =
+  let intern =
+    Intern.create ~max_strings:layout.Msg.Layout.max_strings
+      ~max_labels:layout.Msg.Layout.max_labels ()
+  in
   ignore (Intern.intern intern gstring);
   Array.iter (fun s -> ignore (Intern.intern intern s)) initial;
   intern
 
 let random_string rng bits = Bytes.unsafe_to_string (Prng.bits rng bits)
 
-let make ?(junk = Junk_unique) ?gstring ~(params : Params.t) ~rng ~byzantine_fraction
+let make ?(junk = Junk_unique) ?gstring ?layout ~(params : Params.t) ~rng ~byzantine_fraction
     ~knowledgeable_fraction () =
   let n = params.Params.n in
   if byzantine_fraction < 0.0 || byzantine_fraction >= 1.0 /. 3.0 then
@@ -81,9 +113,11 @@ let make ?(junk = Junk_unique) ?gstring ~(params : Params.t) ~rng ~byzantine_fra
             s
         end)
   in
-  { params; gstring; corrupted; knowledgeable; initial; intern = intern_of ~gstring ~initial }
+  let layout = layout_of ?layout ~params ~gstring ~initial () in
+  { params; gstring; corrupted; knowledgeable; initial; layout;
+    intern = intern_of ~layout ~gstring ~initial }
 
-let of_assignment ~params ~gstring ~corrupted ~initial =
+let of_assignment ?layout ~params ~gstring ~corrupted ~initial () =
   let n = params.Params.n in
   if Array.length initial <> n then
     invalid_arg "Scenario.of_assignment: initial array size mismatch";
@@ -94,7 +128,9 @@ let of_assignment ~params ~gstring ~corrupted ~initial =
     if (not (Bitset.mem corrupted id)) && initial.(id) = gstring then
       Bitset.add knowledgeable id
   done;
-  { params; gstring; corrupted; knowledgeable; initial; intern = intern_of ~gstring ~initial }
+  let layout = layout_of ?layout ~params ~gstring ~initial () in
+  { params; gstring; corrupted; knowledgeable; initial; layout;
+    intern = intern_of ~layout ~gstring ~initial }
 
 let knowledgeable_fraction t =
   float_of_int (Bitset.cardinal t.knowledgeable) /. float_of_int Params.(t.params.n)

@@ -22,15 +22,20 @@ type t = private {
   corrupted : Bitset.t;
   knowledgeable : Bitset.t;  (** correct nodes holding gstring initially *)
   initial : string array;  (** initial candidate of every node *)
+  layout : Msg.Layout.t;
+      (** the run's packed field widths, chosen from [params.n] and the
+          distinct initial strings ({!Msg.Layout.choose}); every packed
+          word of the run uses it *)
   intern : Intern.t;
       (** the run's string/label interner, pre-seeded with [gstring]
           and every initial candidate (in index order) so packed ids
-          are stable *)
+          are stable; its table caps are the layout's field capacities *)
 }
 
 val make :
   ?junk:junk ->
   ?gstring:string ->
+  ?layout:Msg.Layout.choice ->
   params:Params.t ->
   rng:Prng.t ->
   byzantine_fraction:float ->
@@ -45,13 +50,18 @@ val make :
     [Invalid_argument] (so do fractions that cannot be realized, e.g.
     more knowledgeable nodes than correct ones). [gstring] defaults to
     a fresh uniformly random string of [params.gstring_bits] bits;
-    [junk] defaults to {!Junk_unique}. *)
+    [junk] defaults to {!Junk_unique}. [layout] defaults to
+    {!Msg.Layout.Auto} — the narrow fast path whenever it fits — unless
+    the [FBA_WIDE] environment variable is set (non-empty, not "0"),
+    which flips the default to {!Msg.Layout.Wide} for A/B parity runs. *)
 
 val of_assignment :
+  ?layout:Msg.Layout.choice ->
   params:Params.t ->
   gstring:string ->
   corrupted:Bitset.t ->
   initial:string array ->
+  unit ->
   t
 (** Build a scenario from an explicit initial-candidate assignment —
     used to hand the output of an almost-everywhere agreement phase to

@@ -264,7 +264,7 @@ let run_cell = function
                 Printf.sprintf "junk-%d" i
               else gstring)
         in
-        let sc = Scenario.of_assignment ~params ~gstring ~corrupted ~initial in
+        let sc = Scenario.of_assignment ~params ~gstring ~corrupted ~initial () in
         let cfg = Aer.config_of_scenario sc in
         let module E = Fba_sim.Sync_engine.Make (Aer) in
         let res =

@@ -15,6 +15,7 @@ type aer_setup = {
   d_override : (int * int * int) option;
   gstring_bits : int option;
   per_run_miss : float;
+  layout : Msg.Layout.choice;
 }
 
 let default_setup =
@@ -26,6 +27,7 @@ let default_setup =
     d_override = None;
     gstring_bits = None;
     per_run_miss = 0.05;
+    layout = Msg.Layout.Auto;
   }
 
 let scenario_of_setup setup ~n ~seed =
@@ -41,7 +43,8 @@ let scenario_of_setup setup ~n ~seed =
         ~knowledgeable_fraction:setup.knowledgeable_fraction ()
   in
   let rng = Prng.create (Hash64.finish (Hash64.add_string (Hash64.init seed) "workload")) in
-  Scenario.make ~junk:setup.junk ~params ~rng ~byzantine_fraction:setup.byzantine_fraction
+  Scenario.make ~junk:setup.junk ~layout:setup.layout ~params ~rng
+    ~byzantine_fraction:setup.byzantine_fraction
     ~knowledgeable_fraction:setup.knowledgeable_fraction ()
 
 (* --- Run configuration (one record instead of repeated optionals) --- *)
@@ -254,17 +257,3 @@ let run_relay ?(config = default_config) (sc : Scenario.t) =
     ~reference:(Some sc.Scenario.gstring) ()
 
 let seeds k = List.init k (fun i -> Int64.of_int ((1013 * (i + 1)) + 7))
-
-(* --- Deprecated pre-[config] surface (thin wrappers, one release) --- *)
-
-let run_aer_sync ?(mode = `Rushing) ?(max_rounds = 300) ?events ?phase_acc ~adversary sc =
-  aer_sync ~config:{ default_config with mode; max_rounds; events; phase_acc } ~adversary sc
-
-let run_aer_async ?(max_time = 4000) ?events ?phase_acc ~adversary sc =
-  aer_async ~config:{ default_config with max_time; events; phase_acc } ~adversary sc
-
-let run_aer_phases ?(mode = `Rushing) ?(max_rounds = 300) ~adversary sc =
-  aer_phases ~config:{ default_config with mode; max_rounds } ~adversary sc
-
-let run_naive ?(flood = false) sc = naive ~config:{ default_config with flood } sc
-let run_ks09 ?(flood = false) sc = ks09 ~config:{ default_config with flood } sc

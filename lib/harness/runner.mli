@@ -12,10 +12,15 @@ type aer_setup = {
   d_override : (int * int * int) option;  (** (d_i, d_h, d_j) if forced *)
   gstring_bits : int option;
   per_run_miss : float;
+  layout : Msg.Layout.choice;
+      (** packed field widths ({!Fba_core.Msg.Layout.choose}):
+          [Auto] (default) takes the narrow n ≤ 8192 fast path whenever
+          it fits and the wide lane above, honouring [FBA_WIDE] *)
 }
 
 val default_setup : aer_setup
-(** byz 0.10, knowledgeable 0.85, unique junk, defaults elsewhere. *)
+(** byz 0.10, knowledgeable 0.85, unique junk, [Auto] layout, defaults
+    elsewhere. *)
 
 val scenario_of_setup : aer_setup -> n:int -> seed:int64 -> Scenario.t
 (** Auto-sizes quorums via {!Params.make_for} unless [d_override]. *)
@@ -124,44 +129,3 @@ val seeds : int -> int64 list
 (** [seeds k] is [k] fixed distinct seeds, stable across runs. Grid
     cells derive their per-run randomness from these, which is what
     makes cell-wise parallel sweeps ({!Sweep}) deterministic. *)
-
-(** {1 Deprecated pre-[config] wrappers}
-
-    Thin shims over the [config]-taking functions, kept for one
-    release. Migration: move the optional arguments into a [config]
-    record, e.g.
-    [run_aer_sync ~mode:`Non_rushing ~adversary sc] becomes
-    [aer_sync ~config:{ default_config with mode = `Non_rushing } ~adversary sc]. *)
-
-val run_aer_sync :
-  ?mode:Fba_sim.Sync_engine.mode ->
-  ?max_rounds:int ->
-  ?events:Fba_sim.Events.sink ->
-  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
-  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
-  Scenario.t ->
-  aer_run
-[@@ocaml.deprecated "use Runner.aer_sync ~config"]
-
-val run_aer_async :
-  ?max_time:int ->
-  ?events:Fba_sim.Events.sink ->
-  ?phase_acc:Fba_sim.Events.Phase_acc.t ->
-  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.async) ->
-  Scenario.t ->
-  aer_run * float
-[@@ocaml.deprecated "use Runner.aer_async ~config"]
-
-val run_aer_phases :
-  ?mode:Fba_sim.Sync_engine.mode ->
-  ?max_rounds:int ->
-  adversary:(Scenario.t -> Fba_adversary.Aer_attacks.sync) ->
-  Scenario.t ->
-  aer_run * Fba_sim.Events.Phase_acc.t
-[@@ocaml.deprecated "use Runner.aer_phases ~config"]
-
-val run_naive : ?flood:bool -> Scenario.t -> Obs.observation * int
-[@@ocaml.deprecated "use Runner.naive ~config (config.flood)"]
-
-val run_ks09 : ?flood:bool -> Scenario.t -> Obs.observation
-[@@ocaml.deprecated "use Runner.ks09 ~config (config.flood)"]

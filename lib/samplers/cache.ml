@@ -43,11 +43,15 @@ type t = {
   mutable rid_x : int array;  (* rid -> owning x, -1 = empty *)
   mutable rid_rows : int array array;
   xr_rid : (int, int array) Hashtbl.t;
+  (* Width of the packed rid field: the fallback table's (x, rid) keys
+     are [x lsl rid_bits lor rid], so the shift must clear the run's
+     label-id range (Msg.Layout.rid_bits; 20 = the narrow default). *)
+  rid_bits : int;
 }
 
 let no_row : int array array = [||]
 
-let create ?find sampler =
+let create ?find ?(rid_bits = 20) sampler =
   {
     sampler;
     find;
@@ -61,6 +65,7 @@ let create ?find sampler =
     rid_x = [||];
     rid_rows = [||];
     xr_rid = Hashtbl.create 64;
+    rid_bits;
   }
 
 let sampler t = t.sampler
@@ -170,13 +175,13 @@ let seed_sid_row t ~sid ~s ~x q =
   let row = row_sid t ~sid ~s in
   if row.(x) == unset then row.(x) <- q
 
-let key_rid ~x ~rid = (x lsl 20) lor rid
+let key_rid t ~x ~rid = (x lsl t.rid_bits) lor rid
 
 (* Legacy (x, rid)-keyed path, now only the fallback for labels reused
    across pollers (and the oracle the rid-dense index is checked
    against in tests). *)
 let quorum_rid_tbl t ~x ~rid ~r =
-  let key = key_rid ~x ~rid in
+  let key = key_rid t ~x ~rid in
   match Hashtbl.find t.xr_rid key with
   | q -> q
   | exception Not_found ->

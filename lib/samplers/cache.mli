@@ -17,14 +17,17 @@
 
 type t
 
-val create : ?find:(string -> int) -> Sampler.t -> t
+val create : ?find:(string -> int) -> ?rid_bits:int -> Sampler.t -> t
 (** [find] is a non-registering string -> interned-id resolver
     (e.g. [Fba_core.Intern.find]), returning [-1] for unknown strings.
     When supplied, the dense sid-indexed rows are the primary store and
     even string-keyed lookups route through them, leaving the string
     table to hold only strings the interner has never seen; without it
     the cache behaves as before the interned-id port (string table
-    primary, sid rows sharing its arrays). *)
+    primary, sid rows sharing its arrays). [rid_bits] (default 20, the
+    narrow packed layout's label field) is the shift that packs
+    {!quorum_rid}'s (x, rid) fallback keys — pass the run layout's
+    [rid_bits] so keys cannot collide when labels outgrow 2²⁰. *)
 
 val sampler : t -> Sampler.t
 
@@ -69,8 +72,8 @@ val seed_sid_row : t -> sid:int -> s:string -> x:int -> int array -> unit
 
 val quorum_rid : t -> x:int -> rid:int -> r:int64 -> int array
 (** Cached J-quorum keyed by [(x, rid)]; [r] must be the label whose
-    interned id is [rid] (read only on a cold key). Requires
-    [x < 2^13] (the packed identity width). Hot lookups are rid-dense:
+    interned id is [rid] (read only on a cold key); [rid] must fit the
+    cache's [rid_bits]. Hot lookups are rid-dense:
     two array loads, no hashing; a label reused across distinct
     pollers (adversarial echo) falls back to the legacy keyed table. *)
 

@@ -146,6 +146,35 @@ else
   exit 1
 fi
 
+# Wide-layout parity smoke: the packed field widths are representation,
+# not behaviour. Forcing every Auto-layout scenario onto the wide
+# layout (FBA_WIDE=1) must leave an experiment's report byte-identical
+# to the default narrow fast path; the full evidence is the
+# packed.engine narrow-vs-wide trace-identity property.
+dune exec bench/main.exe -- fig1a --jobs 2 > "$seq_out"
+FBA_WIDE=1 dune exec bench/main.exe -- fig1a --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "wide layout parity smoke ok: FBA_WIDE=1 output identical"
+else
+  echo "wide layout parity smoke FAILED: wide-layout run differs from narrow run" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
+# Wide-sweep pipeline smoke: the wide experiment itself, shrunk to
+# populations that run in seconds (FBA_WIDE=1 keeps them on the wide
+# lane despite being under the n <= 8192 ceiling), must be
+# byte-identical sequential vs sharded like every other sweep.
+FBA_WIDE=1 FBA_WIDE_SWEEP_SIZES="256,512" dune exec bench/main.exe -- wide --jobs 1 > "$seq_out"
+FBA_WIDE=1 FBA_WIDE_SWEEP_SIZES="256,512" dune exec bench/main.exe -- wide --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "wide sweep smoke ok: --jobs 2 output identical to --jobs 1"
+else
+  echo "wide sweep smoke FAILED: --jobs 2 output differs from --jobs 1" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
 # Perf gate: the cornering perf target must stay close to the most
 # recent recorded BENCH_<rev>.json baseline. Two checks share one
 # measurement (perf-target --record writes it as a one-target

@@ -72,7 +72,8 @@ let test_cornering_budget () =
   let observed =
     [
       Fba_sim.Envelope.make ~src:1 ~dst:2
-        (Msg.Packed.pack intern (Msg.Poll { s = sc.Scenario.gstring; r = 5L }));
+        (Msg.Packed.pack sc.Scenario.layout intern
+           (Msg.Poll { s = sc.Scenario.gstring; r = 5L }));
     ]
   in
   let envs = attack.Fba_sim.Sync_engine.act ~round:0 ~observed:(fun () -> observed) in
@@ -82,7 +83,7 @@ let test_cornering_budget () =
   List.iter
     (fun (e : Aer.msg Fba_sim.Envelope.t) ->
       Alcotest.(check bool) "from corrupted" true (Bitset.mem sc.Scenario.corrupted e.src);
-      match Msg.Packed.unpack intern e.Fba_sim.Envelope.msg with
+      match Msg.Packed.unpack sc.Scenario.layout intern e.Fba_sim.Envelope.msg with
       | Msg.Poll { s; _ } | Msg.Pull { s; _ } ->
         Alcotest.(check string) "targets gstring" sc.Scenario.gstring s
       | _ -> Alcotest.fail "unexpected message kind")
@@ -100,7 +101,7 @@ let test_quorum_capture_strings_pass_filter () =
   let si = Params.sampler_i params in
   List.iter
     (fun (e : Aer.msg Fba_sim.Envelope.t) ->
-      match Msg.Packed.unpack sc.Scenario.intern e.Fba_sim.Envelope.msg with
+      match Msg.Packed.unpack sc.Scenario.layout sc.Scenario.intern e.Fba_sim.Envelope.msg with
       | Msg.Push s ->
         Alcotest.(check bool) "sender in I(s, victim)" true
           (Fba_samplers.Sampler.mem_sx si ~s ~x:e.dst ~y:e.src)
@@ -135,7 +136,7 @@ let test_corruption_adaptive_denies_gstring () =
     Array.init n (fun i ->
         if Bitset.mem corrupted i || i mod 7 = 0 then Printf.sprintf "junk-%d" i else gstring)
   in
-  let sc = Scenario.of_assignment ~params ~gstring ~corrupted ~initial in
+  let sc = Scenario.of_assignment ~params ~gstring ~corrupted ~initial () in
   let res = run_with Attacks.silent sc in
   (match res.Fba_sim.Sync_engine.states.(victim) with
   | Some st ->

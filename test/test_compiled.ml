@@ -198,12 +198,13 @@ let test_bits_agree () =
   let sc = scenario ~n:128 ~seed:9L in
   let params = sc.Scenario.params in
   let intern = sc.Scenario.intern in
+  let lt = sc.Scenario.layout in
   let _qi, cp = compiled_of sc in
   let check_msg m =
-    let p = Packed.pack intern m in
+    let p = Packed.pack lt intern m in
     Alcotest.(check int)
       (Format.asprintf "bits of %a" Msg.pp m)
-      (Packed.bits params intern p) (Compiled.bits cp p)
+      (Packed.bits lt params intern p) (Compiled.bits cp p)
   in
   let s0 = sc.Scenario.gstring and s1 = sc.Scenario.initial.(1) in
   List.iter check_msg

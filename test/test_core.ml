@@ -129,7 +129,7 @@ let test_scenario_of_assignment () =
   let params = Params.make ~n:8 ~seed:1L ~gstring_bits:8 () in
   let corrupted = Bitset.of_list 8 [ 0 ] in
   let initial = [| "x"; "g"; "g"; "g"; "g"; "j"; "g"; "g" |] in
-  let sc = Scenario.of_assignment ~params ~gstring:"g" ~corrupted ~initial in
+  let sc = Scenario.of_assignment ~params ~gstring:"g" ~corrupted ~initial () in
   Alcotest.(check int) "knowledgeable derived" 6 (Bitset.cardinal sc.Scenario.knowledgeable);
   Alcotest.(check bool) "corrupted holder not knowledgeable" false
     (Bitset.mem sc.Scenario.knowledgeable 0);

@@ -132,32 +132,6 @@ let test_runner_phase_breakdown () =
   Alcotest.(check int) "tracing did not change traffic" plain.Runner.obs.Obs.total_bits_all
     obs.Obs.total_bits_all
 
-(* The deprecated wrappers must stay behaviourally identical to the
-   config-record calls they delegate to. *)
-module Deprecated = struct
-  [@@@alert "-deprecated"]
-
-  let run_aer_sync = Runner.run_aer_sync
-  let run_naive = Runner.run_naive
-end
-
-let test_config_wrappers_equivalent () =
-  let sc () = Runner.scenario_of_setup Runner.default_setup ~n:64 ~seed:11L in
-  let adversary = Fba_adversary.Aer_attacks.silent in
-  let new_run = Runner.aer_sync ~adversary (sc ()) in
-  let old_run = Deprecated.run_aer_sync ~adversary (sc ()) in
-  Alcotest.(check int) "aer wrapper: same traffic" new_run.Runner.obs.Obs.total_bits_all
-    old_run.Runner.obs.Obs.total_bits_all;
-  Alcotest.(check (float 0.0)) "aer wrapper: same agreement"
-    new_run.Runner.obs.Obs.agreed_fraction old_run.Runner.obs.Obs.agreed_fraction;
-  let new_naive, new_worst =
-    Runner.naive ~config:{ Runner.default_config with Runner.flood = true } (sc ())
-  in
-  let old_naive, old_worst = Deprecated.run_naive ~flood:true (sc ()) in
-  Alcotest.(check int) "naive wrapper: same traffic" new_naive.Obs.total_bits_all
-    old_naive.Obs.total_bits_all;
-  Alcotest.(check int) "naive wrapper: same worst replies" new_worst old_worst
-
 (* --- Sweep: jobs-invariance golden --- *)
 
 module Exp_lemmas = Fba_harness.Exp_lemmas
@@ -254,8 +228,6 @@ let suites =
         Alcotest.test_case "end to end" `Quick test_runner_end_to_end;
         Alcotest.test_case "stable seeds" `Quick test_runner_seeds_stable;
         Alcotest.test_case "phase breakdown accounting" `Quick test_runner_phase_breakdown;
-        Alcotest.test_case "deprecated wrappers equivalent" `Quick
-          test_config_wrappers_equivalent;
       ] );
     ( "harness.sweep",
       [ Alcotest.test_case "jobs invariance (lemmas subset)" `Quick test_sweep_jobs_invariance ] );
