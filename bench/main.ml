@@ -149,12 +149,57 @@ let git_rev () =
     | _ -> "unknown")
   | exception _ -> "unknown"
 
+(* Peak RSS high-water (VmHWM) in kB from /proc/self/status. The
+   kernel's high-water mark is process-lifetime; writing "5" to
+   /proc/self/clear_refs resets it so per-target readings do not just
+   echo the largest target measured earlier. Both reads and the reset
+   degrade to 0 / no-op off Linux. *)
+let reset_rss_hwm () =
+  match open_out "/proc/self/clear_refs" with
+  | oc ->
+    (try output_string oc "5" with _ -> ());
+    (try close_out oc with _ -> ())
+  | exception _ -> ()
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          let digits =
+            String.to_seq line |> Seq.filter (fun c -> c >= '0' && c <= '9') |> String.of_seq
+          in
+          close_in ic;
+          match int_of_string_opt digits with Some v -> v | None -> 0
+        end
+        else scan ()
+      | exception End_of_file ->
+        close_in ic;
+        0
+    in
+    scan ()
+  | exception _ -> 0
+
+type row = {
+  r_name : string;
+  r_time_ns : float;
+  r_words : float;  (* allocated words per run *)
+  r_runs : int;
+  r_peak_words : int;  (* peak mailbox/calendar words (Batch.Peak) *)
+  r_rss_kb : int;  (* VmHWM over the measurement *)
+}
+
 (* One warm run (fills samplers' caches and the first-touch
    allocations), then timed runs until at least 3 and ~1s of work, so
    cheap targets average over many runs while expensive ones stay
-   bounded. *)
-let measure_target f =
+   bounded. The peak gauges bracket the timed runs: [Batch.Peak] is the
+   engines' delivery-plane high-water, VmHWM the whole process. *)
+let measure_target name f =
   f ();
+  Fba_sim.Batch.Peak.reset ();
+  reset_rss_hwm ();
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
   let runs = ref 0 in
@@ -165,7 +210,14 @@ let measure_target f =
   let k = float_of_int !runs in
   let time_ns = (Unix.gettimeofday () -. t0) /. k *. 1e9 in
   let words = (Gc.allocated_bytes () -. a0) /. 8.0 /. k in
-  (time_ns, words, !runs)
+  {
+    r_name = name;
+    r_time_ns = time_ns;
+    r_words = words;
+    r_runs = !runs;
+    r_peak_words = Fba_sim.Batch.Peak.get ();
+    r_rss_kb = peak_rss_kb ();
+  }
 
 (* BENCH_<rev>.json rows share one serialization everywhere (perf
    --json and perf-target --record), so the compare-mode parser below
@@ -174,11 +226,11 @@ let write_bench_json ~path ~rev rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"rev\": %S,\n  \"targets\": [" rev;
   List.iteri
-    (fun i (name, time_ns, words, runs) ->
+    (fun i r ->
       Printf.fprintf oc
-        "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d }"
+        "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d, \"peak_mailbox_words\": %d, \"peak_rss_kb\": %d }"
         (if i = 0 then "" else ",")
-        name time_ns words runs)
+        r.r_name r.r_time_ns r.r_words r.r_runs r.r_peak_words r.r_rss_kb)
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
@@ -229,15 +281,26 @@ let parse_bench path =
       Printf.eprintf "perf --compare: %s: missing %S after byte %d\n" path key from;
       exit 2
   in
+  (* Optional fields (added to the format later; absent from older
+     checked-in BENCH files) must not be picked up from the *next*
+     target's object, so the search is bounded by the next "name". *)
+  let field_opt key from ~stop =
+    match find (Printf.sprintf "\"%s\": " key) from with
+    | Some i when i < stop -> Some (number i)
+    | _ -> None
+  in
   let rec targets from acc =
     match find "\"name\": \"" from with
     | None -> List.rev acc
     | Some i ->
       let close = try String.index_from s i '"' with Not_found -> len in
       let name = String.sub s i (close - i) in
+      let stop = match find "\"name\": \"" close with Some j -> j | None -> len in
       let time_ns = field "time_ns_per_run" close in
       let words = field "allocated_words_per_run" close in
-      targets close ((name, time_ns, words) :: acc)
+      let peak_words = field_opt "peak_mailbox_words" close ~stop in
+      let rss_kb = field_opt "peak_rss_kb" close ~stop in
+      targets close ((name, time_ns, words, peak_words, rss_kb) :: acc)
   in
   targets 0 []
 
@@ -260,7 +323,18 @@ let run_compare base_path new_path ~tol ~metric =
           ("delta", Fba_stdx.Table.Right);
           ("words/run", Fba_stdx.Table.Right);
           ("delta", Fba_stdx.Table.Right);
+          ("peak words", Fba_stdx.Table.Right);
+          ("delta", Fba_stdx.Table.Right);
+          ("rss kb", Fba_stdx.Table.Right);
         ]
+  in
+  let opt_cell = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+  (* Peak deltas render (memory is the point of the streamed plane) but
+     never gate: the field is absent from older baselines and VmHWM is
+     too machine-dependent for a hard threshold here — scripts/ci.sh
+     gates peak_mailbox_words explicitly when the baseline has it. *)
+  let opt_delta nv bv =
+    match (nv, bv) with Some n, Some b -> Printf.sprintf "%+.1f%%" (pct n b) | _ -> "-"
   in
   let failures = ref [] in
   (* One-sided targets never gate (ci compares a one-target record
@@ -268,8 +342,8 @@ let run_compare base_path new_path ~tol ~metric =
      deleted benchmark vanish from the radar — report them loudly. *)
   let one_sided = ref [] in
   List.iter
-    (fun (name, bt, bw) ->
-      match List.find_opt (fun (n, _, _) -> n = name) curr with
+    (fun (name, bt, bw, bp, _) ->
+      match List.find_opt (fun (n, _, _, _, _) -> n = name) curr with
       | None ->
         one_sided := Printf.sprintf "target %S is in %s but not in %s" name base_path new_path :: !one_sided;
         (* Union row with the side that does exist: the baseline values,
@@ -277,8 +351,8 @@ let run_compare base_path new_path ~tol ~metric =
            on the table instead of vanishing. *)
         Fba_stdx.Table.add_row tbl
           [ name; Printf.sprintf "%.2f ms" (bt /. 1e6); "removed"; Printf.sprintf "%.0f" bw;
-            "removed" ]
-      | Some (_, nt, nw) ->
+            "removed"; opt_cell bp; "removed"; "-" ]
+      | Some (_, nt, nw, np, nr) ->
         let dt = pct nt bt and dw = pct nw bw in
         Fba_stdx.Table.add_row tbl
           [
@@ -287,6 +361,9 @@ let run_compare base_path new_path ~tol ~metric =
             Printf.sprintf "%+.1f%%" dt;
             Printf.sprintf "%.0f" nw;
             Printf.sprintf "%+.1f%%" dw;
+            opt_cell np;
+            opt_delta np bp;
+            opt_cell nr;
           ];
         (match tol with
         | Some tol ->
@@ -298,12 +375,12 @@ let run_compare base_path new_path ~tol ~metric =
         | None -> ()))
     base;
   List.iter
-    (fun (name, nt, nw) ->
-      if not (List.exists (fun (n, _, _) -> n = name) base) then begin
+    (fun (name, nt, nw, np, nr) ->
+      if not (List.exists (fun (n, _, _, _, _) -> n = name) base) then begin
         one_sided := Printf.sprintf "target %S is in %s but not in %s" name new_path base_path :: !one_sided;
         Fba_stdx.Table.add_row tbl
           [ name; Printf.sprintf "%.2f ms" (nt /. 1e6); "new"; Printf.sprintf "%.0f" nw;
-            "new" ]
+            "new"; opt_cell np; "new"; opt_cell nr ]
       end)
     curr;
   Fba_stdx.Table.print tbl;
@@ -372,11 +449,11 @@ let run_history ~json () =
     List.fold_left
       (fun acc (_, _, _, rows) ->
         List.fold_left
-          (fun acc (n, _, _) -> if List.mem n acc then acc else acc @ [ n ])
+          (fun acc (n, _, _, _, _) -> if List.mem n acc then acc else acc @ [ n ])
           acc rows)
       [] entries
   in
-  let lookup rows name = List.find_opt (fun (n, _, _) -> n = name) rows in
+  let lookup rows name = List.find_opt (fun (n, _, _, _, _) -> n = name) rows in
   if json then begin
     let b = Buffer.create 1024 in
     Buffer.add_string b "{\"bench_history_version\":1,\"revs\":[";
@@ -388,24 +465,35 @@ let run_history ~json () =
              (match ct with Some t -> string_of_int t | None -> "null")))
       entries;
     Buffer.add_string b "],\"targets\":[";
+    let series key proj =
+      Buffer.add_string b (Printf.sprintf "%S:[" key);
+      fun name ->
+        List.iteri
+          (fun j (_, _, _, rows) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (match lookup rows name with Some r -> proj r | None -> "null"))
+          entries;
+        Buffer.add_char b ']'
+    in
     List.iteri
       (fun i name ->
         if i > 0 then Buffer.add_char b ',';
-        Buffer.add_string b (Printf.sprintf "{\"name\":%S,\"time_ns_per_run\":[" name);
-        List.iteri
-          (fun j (_, _, _, rows) ->
-            if j > 0 then Buffer.add_char b ',';
-            Buffer.add_string b
-              (match lookup rows name with Some (_, t, _) -> Printf.sprintf "%.0f" t | None -> "null"))
-          entries;
-        Buffer.add_string b "],\"allocated_words_per_run\":[";
-        List.iteri
-          (fun j (_, _, _, rows) ->
-            if j > 0 then Buffer.add_char b ',';
-            Buffer.add_string b
-              (match lookup rows name with Some (_, _, w) -> Printf.sprintf "%.0f" w | None -> "null"))
-          entries;
-        Buffer.add_string b "]}")
+        Buffer.add_string b (Printf.sprintf "{\"name\":%S," name);
+        (series "time_ns_per_run" (fun (_, t, _, _, _) -> Printf.sprintf "%.0f" t)) name;
+        Buffer.add_char b ',';
+        (series "allocated_words_per_run" (fun (_, _, w, _, _) -> Printf.sprintf "%.0f" w)) name;
+        Buffer.add_char b ',';
+        (* Peak gauges are null before the revision that introduced
+           them — consumers see exactly when the field starts existing. *)
+        (series "peak_mailbox_words"
+           (fun (_, _, _, p, _) -> match p with Some v -> Printf.sprintf "%.0f" v | None -> "null"))
+          name;
+        Buffer.add_char b ',';
+        (series "peak_rss_kb"
+           (fun (_, _, _, _, r) -> match r with Some v -> Printf.sprintf "%.0f" v | None -> "null"))
+          name;
+        Buffer.add_char b '}')
       target_names;
     Buffer.add_string b "]}";
     print_endline (Buffer.contents b)
@@ -434,14 +522,16 @@ let run_history ~json () =
             (name
             :: List.map
                  (fun (_, _, _, rows) ->
-                   match lookup rows name with Some (_, t, w) -> cell t w | None -> "-")
+                   match lookup rows name with Some r -> cell r | None -> "-")
                  entries))
         target_names;
       Fba_stdx.Table.print tbl;
       print_newline ()
     in
-    trajectory "time per run" (fun t _ -> Printf.sprintf "%.2f ms" (t /. 1e6));
-    trajectory "allocated words per run" (fun _ w -> Printf.sprintf "%.0f" w)
+    trajectory "time per run" (fun (_, t, _, _, _) -> Printf.sprintf "%.2f ms" (t /. 1e6));
+    trajectory "allocated words per run" (fun (_, _, w, _, _) -> Printf.sprintf "%.0f" w);
+    trajectory "peak mailbox words" (fun (_, _, _, p, _) ->
+        match p with Some v -> Printf.sprintf "%.0f" v | None -> "-")
   end;
   exit 0
 
@@ -461,13 +551,18 @@ let e2e_targets =
 
 let measure_e2e ?(progress = stdout) (name, n, junk) =
   let sc = Runner.scenario_of_setup { Runner.default_setup with Runner.junk } ~n ~seed:1L in
+  Fba_sim.Batch.Peak.reset ();
+  reset_rss_hwm ();
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
   ignore (Runner.aer_sync ~adversary:(fun sc -> Attacks.cornering sc) sc);
   let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   let words = (Gc.allocated_bytes () -. a0) /. 8.0 in
-  Printf.fprintf progress "%-28s %12.0f ns/run %14.0f words/run  (1 run)\n%!" name ns words;
-  (name, ns, words, 1)
+  let peak = Fba_sim.Batch.Peak.get () in
+  let rss = peak_rss_kb () in
+  Printf.fprintf progress "%-28s %12.0f ns/run %14.0f words/run %12d peak-words  (1 run)\n%!"
+    name ns words peak;
+  { r_name = name; r_time_ns = ns; r_words = words; r_runs = 1; r_peak_words = peak; r_rss_kb = rss }
 
 let run_perf_json () =
   (match Sys.getenv_opt "FBA_SKIP_CI" with
@@ -482,14 +577,14 @@ let run_perf_json () =
       end
     end
     else print_endline "## perf gate: scripts/ci.sh not found (not at repo root?), skipping");
-  print_endline "## Perf targets (wall time and allocated words per run)\n";
+  print_endline "## Perf targets (wall time, allocated words and peak mailbox words per run)\n";
   let rows =
     List.map
       (fun (name, f) ->
-        let time_ns, words, runs = measure_target f in
-        Printf.printf "%-28s %12.0f ns/run %14.0f words/run  (%d runs)\n%!" name time_ns
-          words runs;
-        (name, time_ns, words, runs))
+        let r = measure_target name f in
+        Printf.printf "%-28s %12.0f ns/run %14.0f words/run %12d peak-words  (%d runs)\n%!"
+          r.r_name r.r_time_ns r.r_words r.r_peak_words r.r_runs;
+        r)
       perf_tests
   in
   let rows = rows @ List.map measure_e2e e2e_targets in
@@ -548,17 +643,15 @@ let () =
     (* Bare stdout by design: one number, for scripts/ci.sh. [--record]
        additionally writes the full measurement as a one-target
        BENCH-format file so [perf --compare] can gate on it. *)
-    let finish (tname, time_ns, words, runs) =
+    let finish r =
       (match record with
-      | Some path -> write_bench_json ~path ~rev:(git_rev ()) [ (tname, time_ns, words, runs) ]
+      | Some path -> write_bench_json ~path ~rev:(git_rev ()) [ r ]
       | None -> ());
-      Printf.printf "%.0f\n" words;
+      Printf.printf "%.0f\n" r.r_words;
       exit 0
     in
     match List.assoc_opt name perf_tests with
-    | Some f ->
-      let time_ns, words, runs = measure_target f in
-      finish (name, time_ns, words, runs)
+    | Some f -> finish (measure_target name f)
     | None -> (
       match List.find_opt (fun (e, _, _) -> e = name) e2e_targets with
       | Some target -> finish (measure_e2e ~progress:stderr target)

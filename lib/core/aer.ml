@@ -391,15 +391,27 @@ and decide cfg st ~emit sid =
        the decided string, drop the rest. *)
     if Packed.sid lt m = sid then dispatch cfg st ~emit ~src:(Vec.get st.deferred_src i) m
   done;
-  Vec.clear st.deferred_src;
-  Vec.clear st.deferred_msg;
   for i = 0 to Vec.length st.muted - 1 do
     (* muted holds key_sx-packed (s, x) pairs; split on the layout. *)
     let k = Vec.get st.muted i in
     if k lsr lt.Msg.Layout.id_bits = sid then
       try_answer cfg st ~emit sid (k land lt.Msg.Layout.id_mask)
   done;
-  Vec.clear st.muted
+  Vec.reset st.muted;
+  (* Eviction: every reader of these rows is gated on decided_sid < 0
+     (handle_push for the push accumulators; handle_answer / on_round /
+     issue_poll for the outstanding polls — issue_poll is only reachable
+     through the other two once candidates stop being added), so after
+     the replay above none of them can be referenced again no matter
+     what the calendar still holds in flight. Dropping their storage —
+     not just their lengths — bounds per-node state after decision by
+     the serve-side tables that must stay live (pull/fw1/fw2), which is
+     what keeps decided nodes cheap while stragglers catch up. *)
+  Int_table.reset st.push_masks;
+  Int_table.reset st.push_counts;
+  Hashtbl.reset st.polls;
+  Vec.reset st.deferred_src;
+  Vec.reset st.deferred_msg
 
 and defer cfg st ~src m =
   (* DESIGN.md substitution 6: the paper's pseudo-code drops these;

@@ -100,10 +100,35 @@ module Layout = struct
      adversarial registrations), and the poll-label field absorbs every
      remaining bit — labels are drawn fresh per poll, so rid is the
      field that scales with n. *)
+  exception Immediate_exhausted of { n : int; id_bits : int }
+
+  let () =
+    Printexc.register_printer (function
+      | Immediate_exhausted { n; id_bits } ->
+        Some
+          (Printf.sprintf
+             "Msg.Layout.Immediate_exhausted: n=%d needs %d-bit node ids, and \
+              tag:3|sid:4|rid:%d|x:%d|w:%d already fills the 63-bit immediate — no string \
+              budget can help past n=262144. This is the single-int packed word's ceiling; \
+              the planned 2-int lane (paired words in Stdx.Batch-style parallel lanes) \
+              lifts it."
+             n id_bits (id_bits + 1) id_bits id_bits)
+      | _ -> None)
+
+  let min_sid_bits = 4
+
   let wide_for ~n ~strings =
     if n < 1 then invalid_arg "Msg.Layout.wide_for: n must be positive";
     let id_bits = max 14 (Intx.ceil_log2 (max 2 n)) in
-    let sid_bits = max 4 (Intx.ceil_log2 (2 * (strings + 2))) in
+    (* Structural ceiling first: with even the minimal string budget,
+       ids this wide leave the label field under its id_bits + 1 floor.
+       No [strings] choice can fix that (it is n, not the scenario,
+       that overflows the immediate), so it gets its own named error —
+       distinct from the fewer-strings advice below. First breached at
+       id_bits = 19, i.e. n > 2^18 = 262144. *)
+    if 60 - (2 * id_bits) - min_sid_bits < id_bits + 1 then
+      raise (Immediate_exhausted { n; id_bits });
+    let sid_bits = max min_sid_bits (Intx.ceil_log2 (2 * (strings + 2))) in
     let rid_bits = min 30 (60 - (2 * id_bits) - sid_bits) in
     if rid_bits < id_bits + 1 then
       invalid_arg

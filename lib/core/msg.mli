@@ -71,14 +71,26 @@ module Layout : sig
 
   val is_narrow : t -> bool
 
+  exception Immediate_exhausted of { n : int; id_bits : int }
+  (** The single-int packed word's structural ceiling: [n] needs
+      [id_bits]-bit node ids, and even with the minimal string budget
+      the 63-bit immediate cannot hold [tag:3|sid|rid|x|w] with the
+      label field at its [id_bits + 1] floor. First raised past
+      n = 2{^18} = 262144. No scenario change helps — lifting it needs
+      the planned 2-int lane (paired words in [Stdx.Batch]-style
+      parallel lanes). A printer is registered. *)
+
   val wide_for : n:int -> strings:int -> t
   (** Layout for a population of [n] nodes whose scenario starts with
       [strings] distinct candidate strings: node ids get
       [max 14 ⌈log₂ n⌉] bits, strings roughly 2× headroom over
       [strings], and the label field every remaining bit. Raises
-      [Invalid_argument] (naming the starved field) when the widths
-      cannot fit 63 bits — e.g. n = 262144 with hundreds of distinct
-      strings; {!Scenario.Junk_shared} keeps such runs feasible. *)
+      {!Immediate_exhausted} when no string budget could fit the widths
+      into 63 bits (n > 262144), and [Invalid_argument] (naming the
+      starved field, advising fewer distinct strings) when only the
+      scenario's string count overflows — e.g. n = 262144 with hundreds
+      of distinct strings; {!Scenario.Junk_shared} keeps such runs
+      feasible. *)
 
   type choice = Auto | Narrow | Wide
 

@@ -59,6 +59,7 @@ type config = {
   flood : bool;
   net : Fba_sim.Net.spec;
   compile : bool;  (* lower the scenario before the run (Compiled) *)
+  stream : bool;  (* chunked streamed delivery plane (FBA_NO_STREAM off) *)
 }
 
 let default_config =
@@ -74,6 +75,8 @@ let default_config =
     (* On unless FBA_NO_COMPILE is set — the same A/B switch
        Aer.config_of_scenario defaults to, read once per config. *)
     compile = Sys.getenv_opt "FBA_NO_COMPILE" = None;
+    (* Likewise for FBA_NO_STREAM: the delivery-plane A/B switch. *)
+    stream = Fba_sim.Engine_core.stream_default ();
   }
 
 type aer_run = {
@@ -126,7 +129,7 @@ let aer_sync ?(config = default_config) ~adversary (sc : Scenario.t) =
     else 3
   in
   let res =
-    Aer_sync.run ~quiet_limit ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Aer_sync.run ~quiet_limit ~stream:config.stream ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed ~adversary:(adversary sc) ~mode:config.mode
       ~max_rounds:config.max_rounds ()
   in
@@ -146,7 +149,7 @@ let aer_async ?(config = default_config) ~adversary (sc : Scenario.t) =
   let cfg = Aer.config_of_scenario ?events ~compile:config.compile sc in
   let n = Scenario.(sc.params.Params.n) in
   let res =
-    Aer_async.run ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Aer_async.run ~stream:config.stream ?events ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed ~adversary:(adversary sc)
       ~max_time:config.max_time ()
   in
@@ -178,7 +181,7 @@ let run_grid ?(config = default_config) (sc : Scenario.t) =
     Grid.make_config ~n ~initial:(fun i -> sc.Scenario.initial.(i)) ~str_bits:(str_bits sc)
   in
   let res =
-    Grid_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Grid_sync.run ~stream:config.stream ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Grid.total_rounds + 2) ()
@@ -201,7 +204,7 @@ let naive ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Naive_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Naive_sync.run ~stream:config.stream ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed
       ~adversary ~mode:`Rushing ~max_rounds:(Naive.total_rounds + 2) ()
   in
@@ -230,7 +233,7 @@ let ks09 ?(config = default_config) (sc : Scenario.t) =
     else Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted
   in
   let res =
-    Ks09_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Ks09_sync.run ~stream:config.stream ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed
       ~adversary ~mode:`Rushing ~max_rounds:(Ks09.total_rounds + 2) ()
   in
@@ -248,7 +251,7 @@ let run_relay ?(config = default_config) (sc : Scenario.t) =
       ~str_bits:(str_bits sc) ()
   in
   let res =
-    Relay_sync.run ?prof:config.prof ~net:config.net ~config:cfg ~n
+    Relay_sync.run ~stream:config.stream ?prof:config.prof ~net:config.net ~config:cfg ~n
       ~seed:sc.Scenario.params.Params.seed
       ~adversary:(Fba_sim.Sync_engine.null_adversary ~corrupted:sc.Scenario.corrupted)
       ~mode:`Rushing ~max_rounds:(Relay.total_rounds + 2) ()

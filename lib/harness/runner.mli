@@ -65,6 +65,13 @@ type config = {
           execution is byte-identical (the compiled plane only replaces
           the lookup machinery); the switch exists for the parity
           harness and for A/B perf measurements. *)
+  stream : bool;
+      (** chunked streamed delivery plane (segment arenas recycled
+          within a round) instead of the historical double-buffered
+          mailbox lanes. Default: on unless [FBA_NO_STREAM] is set.
+          On or off the execution is byte-identical — only peak memory
+          changes; the switch exists for the parity harness and A/B
+          memory measurements. *)
 }
 
 val default_config : config

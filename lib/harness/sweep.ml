@@ -14,7 +14,11 @@ let with_progress ~total run_cell =
   fun cell ->
     let row = run_cell cell in
     let k = 1 + Atomic.fetch_and_add done_ 1 in
-    Printf.eprintf "[sweep] %d/%d cells\n%!" k total;
+    (* The running delivery-plane high-water ({!Fba_sim.Batch.Peak} —
+       engines note it at run end, across all domains): long grids show
+       their memory ceiling live, not only post-mortem. *)
+    Printf.eprintf "[sweep] %d/%d cells  (peak mailbox words %d)\n%!" k total
+      (Fba_sim.Batch.Peak.get ());
     row
 
 let cells ~jobs run_cell grid =

@@ -60,6 +60,7 @@ let of_aer_run ?prof (run : Runner.aer_run) =
   counter t "candidate_sum" run.Runner.candidate_sum;
   counter t "candidate_max" run.Runner.candidate_max;
   counter t "gstring_missing" run.Runner.gstring_missing;
+  counter t "peak_mailbox_words" (Fba_sim.Metrics.peak_mailbox_words m);
   gauge t "decided_fraction" obs.Obs.decided_fraction;
   gauge t "agreed_fraction" obs.Obs.agreed_fraction;
   gauge t "bits_per_node" obs.Obs.bits_per_node;

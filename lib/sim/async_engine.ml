@@ -48,8 +48,8 @@ module Make (P : Protocol.S) = struct
 
   type nonrec result = P.state result
 
-  let run ?(quiet_limit = 6) ?events ?prof ?(net = Net.Reliable) ~(config : P.config) ~n
-      ~seed ~(adversary : adversary) ~max_time () =
+  let run ?(quiet_limit = 6) ?stream ?events ?prof ?(net = Net.Reliable)
+      ~(config : P.config) ~n ~seed ~(adversary : adversary) ~max_time () =
     if adversary.max_delay < 1 then invalid_arg "Async_engine: max_delay < 1";
     if quiet_limit < 1 then invalid_arg "Async_engine: quiet_limit < 1";
     let corrupted = adversary.corrupted in
@@ -59,7 +59,9 @@ module Make (P : Protocol.S) = struct
        worst-case network jitter, so jittered deliveries still land
        strictly within the ring. *)
     let cal : P.msg Engine_core.Calendar.t =
-      Engine_core.Calendar.create ~max_delay:(adversary.max_delay + Net.max_extra_delay net)
+      Engine_core.Calendar.create ?stream ~n
+        ~max_delay:(adversary.max_delay + Net.max_extra_delay net)
+        ()
     in
     let clamp_delay d = Intx.clamp ~lo:1 ~hi:adversary.max_delay d in
     (* Activity counters for quiescence detection. *)
@@ -114,7 +116,7 @@ module Make (P : Protocol.S) = struct
        so we only stop after [quiet_limit] consecutive steps with no
        deliveries and no sends. *)
     let quiet = ref 0 in
-    let continue = ref (core.undecided > 0 && cal.pending > 0) in
+    let continue = ref (core.undecided > 0 && Engine_core.Calendar.pending cal > 0) in
     while !continue && !time < max_time do
       incr time;
       let t = !time in
@@ -130,25 +132,28 @@ module Make (P : Protocol.S) = struct
       done;
       (* Deliver everything scheduled for t, in schedule order. Sends
          triggered by these deliveries carry delay >= 1 < width, so they
-         land in other buckets, never the one being drained. *)
-      let bucket = Engine_core.Calendar.due cal ~time:t in
-      let due = Batch.length bucket in
+         land in other buckets, never the one being drained — which on
+         the streamed plane means they take the very segments the drain
+         is recycling. *)
+      let due = Engine_core.Calendar.due_count cal ~time:t in
       if due > 0 then begin
         Engine_core.Calendar.consumed cal due;
         delivered_this_step := !delivered_this_step + due;
-        for i = 0 to due - 1 do
-          Core.deliver core ~round:t ~src:(Batch.src bucket i) ~dst:(Batch.dst bucket i)
-            (Batch.msg bucket i) ~handle
-        done;
-        Batch.clear bucket
+        Engine_core.Calendar.drain_due cal ~time:t ~f:(fun ~src ~dst msg ->
+            Core.deliver core ~round:t ~src ~dst msg ~handle)
       end;
       dispatch_byzantine ~time:t (adversary.inject ~time:t);
       Core.check_decisions core ~round:t;
       if !sends_this_step = 0 && !delivered_this_step = 0 then incr quiet else quiet := 0;
-      continue := core.undecided > 0 && (cal.pending > 0 || !quiet < quiet_limit)
+      continue :=
+        core.undecided > 0 && (Engine_core.Calendar.pending cal > 0 || !quiet < quiet_limit)
     done;
     Core.prof_stop core;
     Metrics.set_rounds core.metrics !time;
+    let peak = Engine_core.Calendar.peak_words cal in
+    Metrics.set_peak_mailbox_words core.metrics peak;
+    Batch.Peak.note peak;
+    (match prof with None -> () | Some p -> Prof.note_peak_mailbox_words p peak);
     {
       metrics = core.metrics;
       outputs = core.outputs;

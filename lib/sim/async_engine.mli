@@ -39,6 +39,7 @@ module Make (P : Protocol.S) : sig
 
   val run :
     ?quiet_limit:int ->
+    ?stream:bool ->
     ?events:Events.sink ->
     ?prof:Prof.t ->
     ?net:Net.spec ->
@@ -50,7 +51,10 @@ module Make (P : Protocol.S) : sig
     unit ->
     result
   (** [quiet_limit] (default 6) counts consecutive steps with no sends
-      and no deliveries. [net] defaults to [Net.Reliable]; losses are
+      and no deliveries. [stream] (default {!Engine_core.stream_default})
+      selects the chunked streamed calendar buckets; [~stream:false] is
+      the historical flat-lane ring — behaviour is identical either
+      way. [net] defaults to [Net.Reliable]; losses are
       attributed through {!Events.Drop} with the {!Net} reason tags,
       and [Net.Jitter] adds an extra per-send delay on top of the
       adversary's choice (the calendar ring is widened by the jitter

@@ -52,45 +52,114 @@ val validate_adversary_envelope :
 (** Raises [Invalid_argument] (prefixed with [who]) if the envelope is
     out of range or its source is not corrupted. *)
 
-(** {1 Reusable delivery storage} *)
+(** {1 Reusable delivery storage}
 
-(** Synchronous mailboxes: {!Batch} lanes reused across rounds
-    (double-buffered), so the steady-state engine allocates nothing
-    per message. *)
+    Both structures come in two interchangeable shapes behind one
+    interface: the historical double-buffered {!Batch} lanes, and the
+    streamed plane (default) built from {!Batch.Arena} segments that
+    are recycled as each is drained, so peak footprint tracks the
+    largest single round instead of retaining every burst for the whole
+    run. [FBA_NO_STREAM=1] (or [~stream:false]) selects the buffered
+    shape; delivery order is byte-identical either way. *)
+
+val stream_default : unit -> bool
+(** [true] unless [FBA_NO_STREAM] is set — the process-wide default for
+    the [?stream] parameters below and {!Fba_harness.Runner.config}. *)
+
+val seg_cap_for : n:int -> int
+(** Default arena segment granularity for an [n]-node run. *)
+
+(** Synchronous mailboxes. The round schedule: correct sends are pushed
+    via [push_correct]; the commit step readies staging
+    ([begin_commit]), pushes the round's byzantine messages
+    ([push_staged]) and then moves the correct sends in after them
+    ([commit]); the next round's delivery step is [stage] + [drain]. *)
 module Mailbox : sig
-  type 'msg t = {
-    correct_out : 'msg Batch.t;  (** current round's correct sends *)
-    in_flight : 'msg Batch.t;  (** staged for delivery next round *)
-    deliveries : 'msg Batch.t;  (** the double buffer being drained *)
-    prev_correct : 'msg Batch.t;  (** previous round's correct sends, for non-rushing observation *)
-  }
+  type 'msg t
 
-  val create : unit -> 'msg t
+  val create : ?stream:bool -> ?seg_cap:int -> n:int -> unit -> 'msg t
+  (** [stream] defaults to {!stream_default}; [seg_cap] (streamed shape
+      only) to {!seg_cap_for}[ ~n]. *)
 
-  val stage_deliveries : 'msg t -> unit
-  (** Swap [in_flight] into [deliveries] (clearing [in_flight]) so
-      sends can refill the former while the caller drains the latter. *)
+  val streamed : 'msg t -> bool
+
+  val push_correct : 'msg t -> src:int -> dst:int -> 'msg -> unit
+  (** Record one correct send of the current round. *)
+
+  val correct_length : 'msg t -> int
+
+  val iter_correct : (src:int -> dst:int -> 'msg -> unit) -> 'msg t -> unit
+  (** Visit the current round's correct sends in send order. *)
+
+  val correct_envelopes : 'msg t -> 'msg Envelope.t list
+  (** Materialize the current round's correct sends (the rushing
+      adversary's observation window). *)
+
+  val prev_envelopes : 'msg t -> 'msg Envelope.t list
+  (** Materialize the previous round's correct sends (the non-rushing
+      observation window; maintained only when [commit ~keep_prev]). *)
+
+  val begin_commit : 'msg t -> unit
+  (** Ready the staging area for the round's commit. *)
+
+  val push_staged : 'msg t -> src:int -> dst:int -> 'msg -> unit
+  (** Stage one byzantine message for delivery next round (before
+      [commit], so byzantine messages deliver first). *)
+
+  val commit : 'msg t -> keep_prev:bool -> unit
+  (** Move the round's correct sends into the staged schedule after the
+      byzantine ones — a copy on the buffered plane, an O(1) segment
+      link on the streamed one — and snapshot them into the previous-
+      round window when [keep_prev]. *)
+
+  val stage : 'msg t -> unit
+  (** Flip the staged schedule into the delivery buffer (buffered plane
+      only; the streamed chain {e is} the delivery buffer). *)
+
+  val staged_any : 'msg t -> bool
+  (** After [stage]: is anything due this round? *)
+
+  val drain : 'msg t -> f:(src:int -> dst:int -> 'msg -> unit) -> unit
+  (** Deliver everything staged, in order (byzantine first, then correct
+      sends in send order). On the streamed plane each segment is
+      recycled the moment its last message is handed to [f]. *)
+
+  val pending_any : 'msg t -> bool
+  (** Is anything staged for the next round (the quiescence check)? *)
+
+  val peak_words : 'msg t -> int
+  (** Peak delivery-plane footprint of the run so far, in words. *)
 end
 
 (** Asynchronous calendar queue: a ring of [max_delay + 1] reusable
-    lane buckets indexed by [due mod width]. Delays clamped to
-    [\[1, max_delay\]] can never alias two live due times. *)
+    buckets indexed by [due mod width]. Delays clamped to
+    [\[1, max_delay\]] can never alias two live due times. On the
+    streamed plane the buckets are chains over one shared arena, so
+    draining the due bucket recycles segments that future buckets then
+    reuse. *)
 module Calendar : sig
-  type 'msg t = {
-    width : int;
-    buckets : 'msg Batch.t array;
-    mutable pending : int;  (** scheduled but not yet consumed *)
-  }
+  type 'msg t
 
-  val create : max_delay:int -> 'msg t
+  val create : ?stream:bool -> ?seg_cap:int -> n:int -> max_delay:int -> unit -> 'msg t
 
   val schedule : 'msg t -> at:int -> src:int -> dst:int -> 'msg -> unit
 
-  val due : 'msg t -> time:int -> 'msg Batch.t
-  (** The bucket for [time]; the caller drains and clears it. *)
+  val due_count : 'msg t -> time:int -> int
+  (** Messages due at [time]. *)
+
+  val drain_due : 'msg t -> time:int -> f:(src:int -> dst:int -> 'msg -> unit) -> unit
+  (** Deliver (and clear) the bucket due at [time], in schedule order.
+      [f] may schedule — delays are >= 1, so never into the bucket being
+      drained. *)
+
+  val pending : 'msg t -> int
+  (** Scheduled but not yet consumed. *)
 
   val consumed : 'msg t -> int -> unit
   (** Deduct [k] drained messages from [pending]. *)
+
+  val peak_words : 'msg t -> int
+  (** Peak calendar footprint of the run so far, in words. *)
 end
 
 (** {1 Per-run shared state} *)

@@ -9,6 +9,7 @@ type t = {
   recv_bits : int array;
   decision : int option array;
   mutable rounds : int;
+  mutable peak_mailbox_words : int;
 }
 
 let create ~n ~corrupted =
@@ -21,6 +22,7 @@ let create ~n ~corrupted =
     recv_bits = Array.make n 0;
     decision = Array.make n None;
     rounds = 0;
+    peak_mailbox_words = 0;
   }
 
 let n t = t.n
@@ -39,6 +41,9 @@ let record_decision t ~id ~round =
 
 let set_rounds t r = t.rounds <- r
 let rounds t = t.rounds
+
+let set_peak_mailbox_words t w = t.peak_mailbox_words <- max t.peak_mailbox_words w
+let peak_mailbox_words t = t.peak_mailbox_words
 
 let sent_messages_of t i = t.sent_msgs.(i)
 let sent_bits_of t i = t.sent_bits.(i)
@@ -119,6 +124,9 @@ let merge_phases first second =
     decision =
       Array.map (Option.map (fun r -> r + first.rounds)) second.decision;
     rounds = first.rounds + second.rounds;
+    (* Phases run sequentially, so the process-wide peak is the larger
+       of the two, not their sum. *)
+    peak_mailbox_words = max first.peak_mailbox_words second.peak_mailbox_words;
   }
 
 let pp_summary fmt t =

@@ -27,6 +27,12 @@ val set_rounds : t -> int -> unit
 
 val rounds : t -> int
 
+val set_peak_mailbox_words : t -> int -> unit
+(** Peak delivery-plane footprint (mailbox/calendar words) of the
+    execution; keeps the maximum across calls. *)
+
+val peak_mailbox_words : t -> int
+
 val sent_messages_of : t -> int -> int
 val sent_bits_of : t -> int -> int
 val recv_messages_of : t -> int -> int

@@ -46,16 +46,17 @@ module Make (P : Protocol.S) = struct
   let validate_adversary_envelope ~n ~corrupted e =
     Engine_core.validate_adversary_envelope ~who:"Sync_engine" ~n ~corrupted e
 
-  let run ?(quiet_limit = 3) ?events ?prof ?(net = Net.Reliable) ~(config : P.config) ~n
-      ~seed ~(adversary : adversary) ~(mode : mode) ~max_rounds () =
+  let run ?(quiet_limit = 3) ?stream ?events ?prof ?(net = Net.Reliable)
+      ~(config : P.config) ~n ~seed ~(adversary : adversary) ~(mode : mode) ~max_rounds ()
+      =
     if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
     let corrupted = adversary.corrupted in
     let core = Core.create ?events ?prof ~net ~config ~n ~seed ~corrupted () in
     Core.prof_start core;
-    let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create () in
+    let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create ?stream ~n () in
     let send src dst msg =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
-      Batch.push mb.correct_out ~src ~dst msg
+      Engine_core.Mailbox.push_correct mb ~src ~dst msg
     in
     (* All closures the delivery path needs are built once, reading the
        current round/sender through refs, so the loops allocate no
@@ -71,8 +72,8 @@ module Make (P : Protocol.S) = struct
     let send_pair (dst, msg) = send !cur_node dst msg in
     let observed =
       match mode with
-      | `Rushing -> fun () -> Batch.to_envelopes mb.correct_out
-      | `Non_rushing -> fun () -> Batch.to_envelopes mb.prev_correct
+      | `Rushing -> fun () -> Engine_core.Mailbox.correct_envelopes mb
+      | `Non_rushing -> fun () -> Engine_core.Mailbox.prev_envelopes mb
     in
     Core.trace_round_start core ~round:0;
     (* Round 0: initialize correct nodes. *)
@@ -81,7 +82,7 @@ module Make (P : Protocol.S) = struct
         List.iter send_pair out);
     Core.check_decisions core ~round:0;
     let commit_round ~round =
-      let correct_count = Batch.length mb.correct_out in
+      let correct_count = Engine_core.Mailbox.correct_length mb in
       (* Ask the adversary for its round-[round] messages; [observed]
          materializes envelopes only if the strategy actually looks. *)
       let byz = adversary.act ~round ~observed in
@@ -89,30 +90,24 @@ module Make (P : Protocol.S) = struct
       (* Byzantine messages are delivered before correct ones next
          round: adversary-favorable tie-breaking, so races (e.g. the
          overload filter of Algorithm 3) resolve for the worst case. *)
-      Batch.clear mb.in_flight;
+      Engine_core.Mailbox.begin_commit mb;
       List.iter
         (fun (e : P.msg Envelope.t) ->
           Core.record_send core ~src:e.src ~dst:e.dst e.msg;
           Core.trace_msg core ~round ~byzantine:true ~delay:1 ~src:e.src ~dst:e.dst e.msg;
-          Batch.push mb.in_flight ~src:e.src ~dst:e.dst e.msg)
+          Engine_core.Mailbox.push_staged mb ~src:e.src ~dst:e.dst e.msg)
         byz;
-      Batch.iter (fun ~src ~dst msg -> Core.record_send core ~src ~dst msg) mb.correct_out;
+      Engine_core.Mailbox.iter_correct
+        (fun ~src ~dst msg -> Core.record_send core ~src ~dst msg)
+        mb;
       (match events with
       | None -> ()
       | Some _ ->
-        Batch.iter
+        Engine_core.Mailbox.iter_correct
           (fun ~src ~dst msg ->
             Core.trace_msg core ~round ~byzantine:false ~delay:1 ~src ~dst msg)
-          mb.correct_out);
-      Batch.append mb.in_flight mb.correct_out;
-      (match mode with
-      | `Non_rushing ->
-        (* Keep this round's correct sends alive for next round's
-           observation window. *)
-        Batch.clear mb.prev_correct;
-        Batch.append mb.prev_correct mb.correct_out
-      | `Rushing -> ());
-      Batch.clear mb.correct_out;
+          mb);
+      Engine_core.Mailbox.commit mb ~keep_prev:(mode = `Non_rushing);
       correct_count
     in
     let prev_correct = ref (commit_round ~round:0) in
@@ -125,7 +120,7 @@ module Make (P : Protocol.S) = struct
     let quiet = ref 0 in
     let last_active = ref 0 in
     (* Main loop: rounds 1 .. max_rounds. *)
-    let continue = ref (core.undecided > 0 || not (Batch.is_empty mb.in_flight)) in
+    let continue = ref (core.undecided > 0 || Engine_core.Mailbox.pending_any mb) in
     while !continue && !round < max_rounds do
       incr round;
       let r = !round in
@@ -140,30 +135,33 @@ module Make (P : Protocol.S) = struct
           cur_node := id;
           List.iter send_pair (P.on_round config st ~round:r)
       done;
-      (* Deliver last round's messages: swap the staged mailbox into the
-         delivery buffer so [send] can refill [correct_out]/[in_flight]
-         while we iterate. *)
-      Engine_core.Mailbox.stage_deliveries mb;
-      let delivered_any = not (Batch.is_empty mb.deliveries) in
-      let due = Batch.length mb.deliveries in
-      for i = 0 to due - 1 do
-        Core.deliver core ~round:r ~src:(Batch.src mb.deliveries i)
-          ~dst:(Batch.dst mb.deliveries i) (Batch.msg mb.deliveries i) ~handle
-      done;
+      (* Deliver last round's messages. On the buffered plane [stage]
+         swaps the staged mailbox into a separate delivery buffer; on
+         the streamed plane the drain recycles each segment as its last
+         message is handled, so [send]'s pushes refill the storage the
+         deliveries just vacated. *)
+      Engine_core.Mailbox.stage mb;
+      let delivered_any = Engine_core.Mailbox.staged_any mb in
+      Engine_core.Mailbox.drain mb ~f:(fun ~src ~dst msg ->
+          Core.deliver core ~round:r ~src ~dst msg ~handle);
       Core.check_decisions core ~round:r;
       prev_correct := commit_round ~round:r;
-      if (not delivered_any) && Batch.is_empty mb.in_flight then incr quiet
+      if (not delivered_any) && not (Engine_core.Mailbox.pending_any mb) then incr quiet
       else begin
         quiet := 0;
         last_active := r
       end;
       continue :=
-        (core.undecided > 0 || (not (Batch.is_empty mb.in_flight)) || !prev_correct > 0)
+        (core.undecided > 0 || Engine_core.Mailbox.pending_any mb || !prev_correct > 0)
         && !quiet < quiet_limit
     done;
     let rounds_used = if !quiet > 0 then !last_active else !round in
     Core.prof_stop core;
     Metrics.set_rounds core.metrics rounds_used;
+    let peak = Engine_core.Mailbox.peak_words mb in
+    Metrics.set_peak_mailbox_words core.metrics peak;
+    Batch.Peak.note peak;
+    (match prof with None -> () | Some p -> Prof.note_peak_mailbox_words p peak);
     {
       metrics = core.metrics;
       outputs = core.outputs;

@@ -42,6 +42,7 @@ module Make (P : Protocol.S) : sig
 
   val run :
     ?quiet_limit:int ->
+    ?stream:bool ->
     ?events:Events.sink ->
     ?prof:Prof.t ->
     ?net:Net.spec ->
@@ -55,11 +56,16 @@ module Make (P : Protocol.S) : sig
     result
   (** [quiet_limit] (default 3) is the number of consecutive rounds
       with no traffic after which the engine declares quiescence —
-      protocols with longer planned gaps must raise it. [net] defaults
-      to [Net.Reliable]; any other condition may drop deliveries
-      (attributed through {!Events.Drop} with the {!Net} reason tags).
-      [Net.Jitter] is a no-op here: the synchronous delivery schedule
-      {e is} the round structure. [prof], when given, records per-round
-      / per-handler-tag wall-clock and allocation into the attached
-      {!Prof.t}; absent, the run does no profiling work at all. *)
+      protocols with longer planned gaps must raise it. [stream]
+      (default {!Engine_core.stream_default}, i.e. on unless
+      [FBA_NO_STREAM] is set) selects the chunked streamed mailbox;
+      [~stream:false] is the historical double-buffered plane —
+      delivery order and every observable output are identical either
+      way. [net] defaults to [Net.Reliable]; any other condition may
+      drop deliveries (attributed through {!Events.Drop} with the
+      {!Net} reason tags). [Net.Jitter] is a no-op here: the
+      synchronous delivery schedule {e is} the round structure. [prof],
+      when given, records per-round / per-handler-tag wall-clock and
+      allocation into the attached {!Prof.t}; absent, the run does no
+      profiling work at all. *)
 end

@@ -130,6 +130,14 @@ let clear t =
   Array.fill t.keys 0 (Array.length t.keys) (-1);
   t.count <- 0
 
+let reset t =
+  t.keys <- Array.make initial_capacity (-1);
+  t.vals <- Array.make initial_capacity 0;
+  t.mask <- initial_capacity - 1;
+  t.count <- 0
+
+let capacity_words t = 2 * (t.mask + 1)
+
 let iter f t =
   for i = 0 to Array.length t.keys - 1 do
     let key = Array.unsafe_get t.keys i in

@@ -43,5 +43,14 @@ val add_bit : t -> int -> bit:int -> bool
 val clear : t -> unit
 (** Remove every binding, keeping the storage. *)
 
+val reset : t -> unit
+(** Remove every binding {e and} shrink the storage back to the
+    initial capacity — the state-eviction path: a table whose rows can
+    no longer be referenced gives its words back to the GC. *)
+
+val capacity_words : t -> int
+(** Words currently held by the two backing arrays (2 × capacity) —
+    the retained footprint, for peak-memory accounting. *)
+
 val iter : (int -> int -> unit) -> t -> unit
 (** Iterate bindings in unspecified (slot) order. *)

@@ -29,6 +29,17 @@ let push t x =
 
 let clear t = t.len <- 0
 
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty vector";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let capacity t = Array.length t.data
+
+let reset t =
+  t.data <- [||];
+  t.len <- 0
+
 let swap a b =
   let data = a.data and len = a.len in
   a.data <- b.data;

@@ -26,9 +26,22 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 (** Append, doubling the backing array when full (amortized O(1)). *)
 
+val pop : 'a t -> 'a
+(** Remove and return the last element in O(1) (storage retained, so
+    the popped element stays reachable until overwritten). Raises
+    [Invalid_argument] on an empty vector. *)
+
 val clear : 'a t -> unit
 (** Set the length to zero. Storage is retained for reuse, so
     previously pushed elements stay reachable until overwritten. *)
+
+val capacity : 'a t -> int
+(** Allocated slots in the backing array (≥ [length]) — the retained
+    footprint [clear] keeps alive, in elements. *)
+
+val reset : 'a t -> unit
+(** Like [clear], but drop the backing array too — the eviction path:
+    the next [push] starts from an empty allocation. *)
 
 val swap : 'a t -> 'a t -> unit
 (** Exchange the contents (storage and length) of two vectors in O(1). *)

@@ -161,6 +161,21 @@ else
   exit 1
 fi
 
+# Streamed-delivery parity smoke: the chunked streamed mailbox/calendar
+# plane must be behaviour-invisible end to end. One experiment run with
+# the plane disabled (FBA_NO_STREAM=1, the historical double-buffered
+# lanes) must be byte-identical to the default streamed run; the full
+# parity evidence is the streamed.engine trace-identity qcheck suite.
+dune exec bench/main.exe -- fig1a --jobs 2 > "$seq_out"
+FBA_NO_STREAM=1 dune exec bench/main.exe -- fig1a --jobs 2 > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "streamed parity smoke ok: FBA_NO_STREAM=1 output identical"
+else
+  echo "streamed parity smoke FAILED: streamed run differs from buffered run" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
 # Wide-sweep pipeline smoke: the wide experiment itself, shrunk to
 # populations that run in seconds (FBA_WIDE=1 keeps them on the wide
 # lane despite being under the n <= 8192 ceiling), must be
@@ -195,15 +210,16 @@ if [ -n "$baseline" ]; then
   dune exec bench/main.exe -- perf --compare "$baseline" "$current" \
     --tol "${FBA_PERF_TIME_TOL:-10}" --metric time
   if command -v python3 > /dev/null 2>&1; then
-    python3 - "$baseline" "$words" <<'EOF'
+    python3 - "$baseline" "$words" "$current" <<'EOF'
 import json, sys
-baseline_path, words = sys.argv[1], float(sys.argv[2])
+baseline_path, words, current_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
 with open(baseline_path) as f:
     doc = json.load(f)
 target = "fig1a/aer-cornering-n128"
-base = next((t["allocated_words_per_run"] for t in doc["targets"] if t["name"] == target), None)
-if base is None:
+entry = next((t for t in doc["targets"] if t["name"] == target), None)
+if entry is None:
     sys.exit(f"{baseline_path} has no {target} entry")
+base = entry["allocated_words_per_run"]
 ratio = words / base
 if ratio > 1.01:
     sys.exit(
@@ -212,6 +228,25 @@ if ratio > 1.01:
     )
 print(f"allocation gate ok: {target} at {words:.0f} words/run, "
       f"{(ratio - 1) * 100:+.2f}% vs {baseline_path}")
+# Peak-words gate: the streamed delivery plane's whole point is a low
+# memory ceiling, and segment accounting is as deterministic as the
+# allocation count, so the same tight +1% bound applies. Baselines
+# recorded before the gauge existed simply skip the gate.
+base_peak = entry.get("peak_mailbox_words")
+if base_peak is None:
+    print(f"peak-words gate skipped: {baseline_path} predates the gauge")
+else:
+    with open(current_path) as f:
+        cur = json.load(f)
+    peak = next((t.get("peak_mailbox_words") for t in cur["targets"] if t["name"] == target), None)
+    if peak is None:
+        sys.exit(f"{current_path} has no {target} peak_mailbox_words entry")
+    if base_peak > 0 and peak / base_peak > 1.01:
+        sys.exit(
+            f"peak-words gate FAILED: {target} now peaks at {peak} mailbox words, "
+            f"{(peak / base_peak - 1) * 100:.2f}% above the {baseline_path} baseline ({base_peak})"
+        )
+    print(f"peak-words gate ok: {target} at {peak} peak mailbox words vs {base_peak} baseline")
 EOF
   else
     echo "python3 not found; skipping allocation gate" >&2

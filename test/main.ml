@@ -19,4 +19,5 @@ let () =
          Test_determinism.suites;
          Test_net.suites;
          Test_prof.suites;
+         Test_streamed.suites;
        ])

@@ -213,7 +213,7 @@ let test_telemetry_schema () =
     (fun key -> Alcotest.(check bool) key true (contains (Printf.sprintf "\"%s\"" key)))
     [
       "counters"; "gauges"; "dists"; "phases"; "prof"; "n"; "rounds"; "decision_round";
-      "sent_bits"; "recv_bits"; "agreed_fraction";
+      "sent_bits"; "recv_bits"; "agreed_fraction"; "peak_mailbox_words";
     ];
   Alcotest.(check bool) "no profiler attached -> prof is null" true (contains "\"prof\":null");
   String.iter

@@ -1,0 +1,308 @@
+(* Streamed delivery plane (Batch.Arena / Batch.Chain + engine wiring).
+
+   Two layers of evidence that the chunked streamed plane is an exact
+   stand-in for the historical double-buffered mailbox lanes:
+
+   - arena/chain unit suite: segment recycling through the free list,
+     O(1) chain transfer, drain-time recycling, and the no-stale-reads
+     guarantee (a recycled segment never leaks a retired chain's
+     messages back into a new owner);
+   - qcheck trace identity: AER runs with the streamed plane on and off
+     ([~stream:true] vs [~stream:false]) are bit-identical in metrics,
+     outputs and JSONL traces — on the synchronous and asynchronous
+     engines, on the narrow and forced-wide layouts, and with lossy /
+     jittery network conditions active (the [?net] layer reorders
+     nothing, but its drops and delays must land on the same messages
+     either way).
+
+   The wide_for boundary tests pin the packed plane's structural
+   ceiling: past n = 2^18 the 63-bit immediate cannot host any wide
+   layout, and the failure is a named [Immediate_exhausted] (pointing
+   at the planned 2-int lane), distinct from the fewer-strings advice
+   for feasible populations. *)
+
+module Attacks = Fba_adversary.Aer_attacks
+module Runner = Fba_harness.Runner
+module Metrics = Fba_sim.Metrics
+module Batch = Fba_sim.Batch
+open Fba_core
+open Fba_stdx
+
+(* --- Arena / Chain unit suite --- *)
+
+let chain_list c =
+  let out = ref [] in
+  Batch.Chain.iter (fun ~src ~dst m -> out := (src, dst, m) :: !out) c;
+  List.rev !out
+
+let push_range c ~from ~count =
+  for i = from to from + count - 1 do
+    Batch.Chain.push c ~src:i ~dst:(i + 1) (i * 10)
+  done
+
+let expect_range ~from ~count = List.init count (fun k -> (from + k, from + k + 1, (from + k) * 10))
+
+let test_chain_order () =
+  let a = Batch.Arena.create ~seg_cap:4 () in
+  let c = Batch.Chain.create a in
+  Alcotest.(check bool) "fresh chain is empty" true (Batch.Chain.is_empty c);
+  push_range c ~from:0 ~count:11;
+  Alcotest.(check int) "length spans segments" 11 (Batch.Chain.length c);
+  Alcotest.(check (list (triple int int int))) "iter in push order" (expect_range ~from:0 ~count:11)
+    (chain_list c);
+  let envs = Batch.Chain.to_envelopes c in
+  Alcotest.(check int) "to_envelopes materializes all" 11 (List.length envs);
+  let e = List.nth envs 5 in
+  Alcotest.(check int) "envelope src" 5 e.Fba_sim.Envelope.src;
+  Alcotest.(check int) "envelope dst" 6 e.Fba_sim.Envelope.dst;
+  Alcotest.(check int) "envelope msg" 50 e.Fba_sim.Envelope.msg;
+  Alcotest.(check int) "iter is non-destructive" 11 (Batch.Chain.length c)
+
+let test_free_list_recycling () =
+  let a = Batch.Arena.create ~seg_cap:4 () in
+  let c = Batch.Chain.create a in
+  push_range c ~from:0 ~count:12 (* exactly 3 segments *);
+  let peak0 = Batch.Arena.peak_words a in
+  Alcotest.(check int) "3 segments live, none free" 0 (Batch.Arena.free_segments a);
+  Alcotest.(check int) "peak counts 3 two-lane segments" (3 * 2 * 4) peak0;
+  Batch.Chain.clear c;
+  Alcotest.(check int) "clear parks all segments" 3 (Batch.Arena.free_segments a);
+  Alcotest.(check int) "clear frees nothing (peak is retained)" peak0 (Batch.Arena.peak_words a);
+  (* A refill of the same size must be served entirely from the free
+     list: the arena creates no segment, so peak_words cannot move. *)
+  let c2 = Batch.Chain.create a in
+  push_range c2 ~from:100 ~count:12;
+  Alcotest.(check int) "refill drains the free list" 0 (Batch.Arena.free_segments a);
+  Alcotest.(check int) "refill reuses, never grows" peak0 (Batch.Arena.peak_words a)
+
+let test_no_stale_reads () =
+  let a = Batch.Arena.create ~seg_cap:4 () in
+  let c1 = Batch.Chain.create a in
+  push_range c1 ~from:0 ~count:10;
+  Batch.Chain.clear c1;
+  Alcotest.(check (list (triple int int int))) "retired chain reads empty" [] (chain_list c1);
+  Alcotest.(check int) "retired chain has length 0" 0 (Batch.Chain.length c1);
+  (* The new owner of the recycled segments sees only its own pushes —
+     a partial refill must not resurrect the tail of the old lane. *)
+  let c2 = Batch.Chain.create a in
+  push_range c2 ~from:50 ~count:5;
+  Alcotest.(check (list (triple int int int))) "recycled segments carry only the new owner's data"
+    (expect_range ~from:50 ~count:5) (chain_list c2)
+
+let test_transfer () =
+  let a = Batch.Arena.create ~seg_cap:4 () in
+  let src = Batch.Chain.create a in
+  let into = Batch.Chain.create a in
+  push_range into ~from:0 ~count:3;
+  push_range src ~from:3 ~count:9;
+  Batch.Chain.transfer src ~into;
+  Alcotest.(check int) "transfer empties the source" 0 (Batch.Chain.length src);
+  Alcotest.(check (list (triple int int int))) "transfer appends in order"
+    (expect_range ~from:0 ~count:12) (chain_list into);
+  (* Self-transfer and empty-source transfer are no-ops. *)
+  Batch.Chain.transfer into ~into;
+  Batch.Chain.transfer src ~into;
+  Alcotest.(check int) "self/empty transfer is a no-op" 12 (Batch.Chain.length into)
+
+let test_drain_recycles () =
+  let a = Batch.Arena.create ~seg_cap:4 () in
+  let c = Batch.Chain.create a in
+  let next = Batch.Chain.create a in
+  push_range c ~from:0 ~count:12;
+  let peak0 = Batch.Arena.peak_words a in
+  (* Deliver-as-you-go: every delivery from [c] triggers a push into
+     [next] (the engine's send-refills-sends pattern). Segments drained
+     from [c] return to the free list mid-drain and serve [next], so
+     the arena grows by at most one segment of slack. *)
+  let seen = ref [] in
+  Batch.Chain.drain c ~f:(fun ~src ~dst m ->
+      seen := (src, dst, m) :: !seen;
+      Batch.Chain.push next ~src ~dst (m + 1));
+  Alcotest.(check (list (triple int int int))) "drain visits in push order"
+    (expect_range ~from:0 ~count:12) (List.rev !seen);
+  Alcotest.(check int) "drained chain is empty" 0 (Batch.Chain.length c);
+  Alcotest.(check int) "refilled chain holds every delivery" 12 (Batch.Chain.length next);
+  Alcotest.(check bool)
+    (Printf.sprintf "drain recycles in flight: peak %d <= %d + one segment"
+       (Batch.Arena.peak_words a) peak0)
+    true
+    (Batch.Arena.peak_words a <= peak0 + (2 * 4))
+
+let test_peak_gauge () =
+  Batch.Peak.reset ();
+  Alcotest.(check int) "reset zeroes the gauge" 0 (Batch.Peak.get ());
+  Batch.Peak.note 300;
+  Batch.Peak.note 120;
+  Alcotest.(check int) "note keeps the max" 300 (Batch.Peak.get ());
+  Batch.Peak.note 450;
+  Alcotest.(check int) "note raises monotonically" 450 (Batch.Peak.get ());
+  Batch.Peak.reset ()
+
+(* --- wide_for structural ceiling --- *)
+
+let test_immediate_exhausted () =
+  let open Msg.Layout in
+  (* n = 2^18 is the last feasible population: 18-bit ids still leave a
+     19-bit label field beside the minimal string budget. *)
+  let lt = wide_for ~n:262144 ~strings:8 in
+  Alcotest.(check bool) "n=2^18 still fits" true (total_bits lt <= 63);
+  Alcotest.(check bool) "n=2^18 addresses the population" true (lt.max_n >= 262144);
+  Alcotest.(check int) "n=2^18 id_bits" 18 lt.id_bits;
+  (match wide_for ~n:262145 ~strings:8 with
+  | (_ : t) -> Alcotest.fail "n=2^18+1: expected Immediate_exhausted"
+  | exception Immediate_exhausted { n; id_bits } ->
+    Alcotest.(check int) "exception carries n" 262145 n;
+    Alcotest.(check int) "exception carries id_bits" 19 id_bits);
+  (* The structural ceiling outranks the fewer-strings advice: a huge
+     string budget at an infeasible n must not be blamed on strings. *)
+  (match wide_for ~n:524288 ~strings:5000 with
+  | (_ : t) -> Alcotest.fail "n=2^19: expected Immediate_exhausted"
+  | exception Immediate_exhausted _ -> ());
+  let msg =
+    try
+      ignore (wide_for ~n:262145 ~strings:8);
+      ""
+    with e -> Printexc.to_string e
+  in
+  let contains needle =
+    let nh = String.length msg and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub msg i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "printer names the ceiling" true (contains "262144");
+  Alcotest.(check bool) "printer points at the 2-int lane" true (contains "2-int")
+
+(* --- Streamed vs buffered engine identity --- *)
+
+module E = Fba_sim.Sync_engine.Make (Aer)
+module A = Fba_sim.Async_engine.Make (Aer)
+
+let fingerprint m =
+  let h = ref (Hash64.init 0x600DL) in
+  let n = Metrics.n m in
+  for i = 0 to n - 1 do
+    h := Hash64.add_int !h (Metrics.sent_messages_of m i);
+    h := Hash64.add_int !h (Metrics.sent_bits_of m i);
+    h := Hash64.add_int !h (Metrics.recv_messages_of m i);
+    h := Hash64.add_int !h (Metrics.recv_bits_of m i);
+    h := Hash64.add_int !h (match Metrics.decision_round m i with None -> -1 | Some r -> r)
+  done;
+  Hash64.finish (Hash64.add_int !h (Metrics.rounds m))
+
+let quiet_limit_of sc =
+  if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+    Params.(sc.Scenario.params.repoll_timeout) + 2
+  else 3
+
+let jsonl_sink () =
+  let buf = Buffer.create 4096 in
+  let sink = Fba_sim.Events.create () in
+  Fba_sim.Events.attach sink (Fba_sim.Events.Jsonl.consumer buf);
+  (sink, buf)
+
+let arb_run =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%Ld" n seed)
+    QCheck.Gen.(pair (int_range 24 64) (map Int64.of_int (int_range 1 1000)))
+
+(* One sync run at a given stream setting; the net layer is active
+   (i.i.d. drops) so the identity also covers the drop-attribution
+   path through the mailbox. *)
+let sync_run ~layout ~net ~stream (n, seed) =
+  let sc = Runner.scenario_of_setup { Runner.default_setup with layout } ~n ~seed in
+  let events, buf = jsonl_sink () in
+  let cfg = Aer.config_of_scenario ~events sc in
+  let r =
+    E.run ~quiet_limit:(quiet_limit_of sc) ~stream ~events ?net ~config:cfg ~n ~seed
+      ~adversary:(Attacks.cornering sc) ~mode:`Rushing ~max_rounds:300 ()
+  in
+  (r, buf)
+
+let sync_identical ~layout ~net args =
+  let s, s_buf = sync_run ~layout ~net ~stream:true args in
+  let b, b_buf = sync_run ~layout ~net ~stream:false args in
+  Int64.equal
+    (fingerprint s.Fba_sim.Sync_engine.metrics)
+    (fingerprint b.Fba_sim.Sync_engine.metrics)
+  && s.Fba_sim.Sync_engine.outputs = b.Fba_sim.Sync_engine.outputs
+  && Buffer.contents s_buf = Buffer.contents b_buf
+
+let prop_sync_stream_identical =
+  QCheck.Test.make ~name:"sync: streamed and buffered runs are trace-identical (narrow, lossy net)"
+    ~count:6 arb_run
+    (sync_identical ~layout:Msg.Layout.Narrow ~net:(Some (Fba_sim.Net.Drop { rate = 0.05 })))
+
+let prop_sync_stream_identical_wide =
+  QCheck.Test.make ~name:"sync: streamed and buffered runs are trace-identical (wide layout)"
+    ~count:4 arb_run (sync_identical ~layout:Msg.Layout.Wide ~net:None)
+
+let prop_sync_stream_identical_non_rushing =
+  (* `Non_rushing keeps the previous round's batch observable — the
+     streamed prev chain rebuild must match the buffered copy. *)
+  QCheck.Test.make ~name:"sync: streamed and buffered runs are trace-identical (non-rushing)"
+    ~count:4 arb_run (fun (n, seed) ->
+      let run stream =
+        let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+        let events, buf = jsonl_sink () in
+        let cfg = Aer.config_of_scenario ~events sc in
+        let r =
+          E.run ~quiet_limit:(quiet_limit_of sc) ~stream ~events ~config:cfg ~n ~seed
+            ~adversary:(Attacks.cornering sc) ~mode:`Non_rushing ~max_rounds:300 ()
+        in
+        (r, buf)
+      in
+      let s, s_buf = run true in
+      let b, b_buf = run false in
+      Int64.equal
+        (fingerprint s.Fba_sim.Sync_engine.metrics)
+        (fingerprint b.Fba_sim.Sync_engine.metrics)
+      && s.Fba_sim.Sync_engine.outputs = b.Fba_sim.Sync_engine.outputs
+      && Buffer.contents s_buf = Buffer.contents b_buf)
+
+let prop_async_stream_identical =
+  QCheck.Test.make
+    ~name:"async: streamed and buffered runs are trace-identical (drop + jitter net)" ~count:4
+    arb_run (fun (n, seed) ->
+      let net =
+        Fba_sim.Net.Compose [ Fba_sim.Net.Drop { rate = 0.03 }; Fba_sim.Net.Jitter { extra = 2 } ]
+      in
+      let run stream =
+        let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+        let events, buf = jsonl_sink () in
+        let cfg = Aer.config_of_scenario ~events sc in
+        let r =
+          A.run ~stream ~events ~net ~config:cfg ~n ~seed
+            ~adversary:(Attacks.async_cornering sc) ~max_time:4000 ()
+        in
+        (r, buf)
+      in
+      let s, s_buf = run true in
+      let b, b_buf = run false in
+      Int64.equal
+        (fingerprint s.Fba_sim.Async_engine.metrics)
+        (fingerprint b.Fba_sim.Async_engine.metrics)
+      && s.Fba_sim.Async_engine.outputs = b.Fba_sim.Async_engine.outputs
+      && Buffer.contents s_buf = Buffer.contents b_buf)
+
+let suites =
+  [
+    ( "streamed.arena",
+      [
+        Alcotest.test_case "chain push order across segments" `Quick test_chain_order;
+        Alcotest.test_case "free-list recycling" `Quick test_free_list_recycling;
+        Alcotest.test_case "no stale reads after retirement" `Quick test_no_stale_reads;
+        Alcotest.test_case "O(1) transfer" `Quick test_transfer;
+        Alcotest.test_case "drain recycles in flight" `Quick test_drain_recycles;
+        Alcotest.test_case "process-wide peak gauge" `Quick test_peak_gauge;
+      ] );
+    ( "streamed.layout",
+      [ Alcotest.test_case "immediate ceiling past n=2^18" `Quick test_immediate_exhausted ] );
+    ( "streamed.engine",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_sync_stream_identical;
+          prop_sync_stream_identical_wide;
+          prop_sync_stream_identical_non_rushing;
+          prop_async_stream_identical;
+        ] );
+  ]
