@@ -42,7 +42,13 @@
           main.exe history [--json]
                    (scan ./BENCH_*.json, order by git commit date, and
                    render each target's time/allocation trajectory
-                   across revisions) *)
+                   across revisions)
+          main.exe service [--jobs N]
+                   (instance-stream throughput: the Service epoch-reset
+                   pipeline vs a loop of fresh one-shot runs over the
+                   same per-instance seeds, at n=128 and n=1024; merges
+                   the service/ rows — instances_per_sec and p50/p99
+                   instance latency — into BENCH_<rev>.json) *)
 
 open Bechamel
 module Attacks = Fba_adversary.Aer_attacks
@@ -189,6 +195,12 @@ type row = {
   r_runs : int;
   r_peak_words : int;  (* peak mailbox/calendar words (Batch.Peak) *)
   r_rss_kb : int;  (* VmHWM over the measurement *)
+  (* Throughput metrics, present only on service/ targets (the
+     instance-stream benchmark); [None] elsewhere and in BENCH files
+     recorded before the service existed. *)
+  r_ips : float option;  (* instances per second *)
+  r_p50_ns : float option;  (* p50 instance latency, ns (µs resolution) *)
+  r_p99_ns : float option;
 }
 
 (* One warm run (fills samplers' caches and the first-touch
@@ -217,6 +229,9 @@ let measure_target name f =
     r_runs = !runs;
     r_peak_words = Fba_sim.Batch.Peak.get ();
     r_rss_kb = peak_rss_kb ();
+    r_ips = None;
+    r_p50_ns = None;
+    r_p99_ns = None;
   }
 
 (* BENCH_<rev>.json rows share one serialization everywhere (perf
@@ -227,15 +242,40 @@ let write_bench_json ~path ~rev rows =
   Printf.fprintf oc "{\n  \"rev\": %S,\n  \"targets\": [" rev;
   List.iteri
     (fun i r ->
+      let service_fields =
+        match (r.r_ips, r.r_p50_ns, r.r_p99_ns) with
+        | Some ips, Some p50, Some p99 ->
+          Printf.sprintf
+            ", \"instances_per_sec\": %.2f, \"p50_instance_latency_ns\": %.0f, \
+             \"p99_instance_latency_ns\": %.0f"
+            ips p50 p99
+        | _ -> ""
+      in
       Printf.fprintf oc
-        "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d, \"peak_mailbox_words\": %d, \"peak_rss_kb\": %d }"
+        "%s\n    { \"name\": %S, \"time_ns_per_run\": %.0f, \"allocated_words_per_run\": %.0f, \"runs\": %d, \"peak_mailbox_words\": %d, \"peak_rss_kb\": %d%s }"
         (if i = 0 then "" else ",")
-        r.r_name r.r_time_ns r.r_words r.r_runs r.r_peak_words r.r_rss_kb)
+        r.r_name r.r_time_ns r.r_words r.r_runs r.r_peak_words r.r_rss_kb service_fields)
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
 
 (* --- perf --compare: diff two BENCH_<rev>.json files --- *)
+
+(* A parsed BENCH row. Optional fields were added to the format over
+   time ([p_peak]/[p_rss] by the streamed-plane PR, the three
+   service metrics by the instance-stream PR) and are [None] when the
+   recording predates them. *)
+type prow = {
+  p_name : string;
+  p_time : float;
+  p_words : float;
+  p_runs : int;
+  p_peak : float option;
+  p_rss : float option;
+  p_ips : float option;
+  p_p50 : float option;
+  p_p99 : float option;
+}
 
 (* Minimal scanner for the rigid JSON this harness itself writes (see
    [write_bench_json]): every target object carries "name",
@@ -298,9 +338,25 @@ let parse_bench path =
       let stop = match find "\"name\": \"" close with Some j -> j | None -> len in
       let time_ns = field "time_ns_per_run" close in
       let words = field "allocated_words_per_run" close in
+      let runs = int_of_float (field "runs" close) in
       let peak_words = field_opt "peak_mailbox_words" close ~stop in
       let rss_kb = field_opt "peak_rss_kb" close ~stop in
-      targets close ((name, time_ns, words, peak_words, rss_kb) :: acc)
+      let ips = field_opt "instances_per_sec" close ~stop in
+      let p50 = field_opt "p50_instance_latency_ns" close ~stop in
+      let p99 = field_opt "p99_instance_latency_ns" close ~stop in
+      targets close
+        ({
+           p_name = name;
+           p_time = time_ns;
+           p_words = words;
+           p_runs = runs;
+           p_peak = peak_words;
+           p_rss = rss_kb;
+           p_ips = ips;
+           p_p50 = p50;
+           p_p99 = p99;
+         }
+        :: acc)
   in
   targets 0 []
 
@@ -326,9 +382,12 @@ let run_compare base_path new_path ~tol ~metric =
           ("peak words", Fba_stdx.Table.Right);
           ("delta", Fba_stdx.Table.Right);
           ("rss kb", Fba_stdx.Table.Right);
+          ("inst/s", Fba_stdx.Table.Right);
+          ("delta", Fba_stdx.Table.Right);
         ]
   in
   let opt_cell = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+  let opt_cell2 = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
   (* Peak deltas render (memory is the point of the streamed plane) but
      never gate: the field is absent from older baselines and VmHWM is
      too machine-dependent for a hard threshold here — scripts/ci.sh
@@ -342,45 +401,54 @@ let run_compare base_path new_path ~tol ~metric =
      deleted benchmark vanish from the radar — report them loudly. *)
   let one_sided = ref [] in
   List.iter
-    (fun (name, bt, bw, bp, _) ->
-      match List.find_opt (fun (n, _, _, _, _) -> n = name) curr with
+    (fun b ->
+      match List.find_opt (fun c -> c.p_name = b.p_name) curr with
       | None ->
-        one_sided := Printf.sprintf "target %S is in %s but not in %s" name base_path new_path :: !one_sided;
+        one_sided :=
+          Printf.sprintf "target %S is in %s but not in %s" b.p_name base_path new_path
+          :: !one_sided;
         (* Union row with the side that does exist: the baseline values,
            marked [removed], so a renamed benchmark's last numbers stay
            on the table instead of vanishing. *)
         Fba_stdx.Table.add_row tbl
-          [ name; Printf.sprintf "%.2f ms" (bt /. 1e6); "removed"; Printf.sprintf "%.0f" bw;
-            "removed"; opt_cell bp; "removed"; "-" ]
-      | Some (_, nt, nw, np, nr) ->
-        let dt = pct nt bt and dw = pct nw bw in
+          [ b.p_name; Printf.sprintf "%.2f ms" (b.p_time /. 1e6); "removed";
+            Printf.sprintf "%.0f" b.p_words; "removed"; opt_cell b.p_peak; "removed"; "-";
+            opt_cell2 b.p_ips; "removed" ]
+      | Some c ->
+        let dt = pct c.p_time b.p_time and dw = pct c.p_words b.p_words in
         Fba_stdx.Table.add_row tbl
           [
-            name;
-            Printf.sprintf "%.2f ms" (nt /. 1e6);
+            b.p_name;
+            Printf.sprintf "%.2f ms" (c.p_time /. 1e6);
             Printf.sprintf "%+.1f%%" dt;
-            Printf.sprintf "%.0f" nw;
+            Printf.sprintf "%.0f" c.p_words;
             Printf.sprintf "%+.1f%%" dw;
-            opt_cell np;
-            opt_delta np bp;
-            opt_cell nr;
+            opt_cell c.p_peak;
+            opt_delta c.p_peak b.p_peak;
+            opt_cell c.p_rss;
+            opt_cell2 c.p_ips;
+            opt_delta c.p_ips b.p_ips;
           ];
         (match tol with
         | Some tol ->
           if gate_time && dt > tol then
-            failures := Printf.sprintf "%s: time %+.1f%% (tol %.1f%%)" name dt tol :: !failures;
+            failures :=
+              Printf.sprintf "%s: time %+.1f%% (tol %.1f%%)" b.p_name dt tol :: !failures;
           if gate_alloc && dw > tol then
             failures :=
-              Printf.sprintf "%s: allocation %+.1f%% (tol %.1f%%)" name dw tol :: !failures
+              Printf.sprintf "%s: allocation %+.1f%% (tol %.1f%%)" b.p_name dw tol :: !failures
         | None -> ()))
     base;
   List.iter
-    (fun (name, nt, nw, np, nr) ->
-      if not (List.exists (fun (n, _, _, _, _) -> n = name) base) then begin
-        one_sided := Printf.sprintf "target %S is in %s but not in %s" name new_path base_path :: !one_sided;
+    (fun c ->
+      if not (List.exists (fun b -> b.p_name = c.p_name) base) then begin
+        one_sided :=
+          Printf.sprintf "target %S is in %s but not in %s" c.p_name new_path base_path
+          :: !one_sided;
         Fba_stdx.Table.add_row tbl
-          [ name; Printf.sprintf "%.2f ms" (nt /. 1e6); "new"; Printf.sprintf "%.0f" nw;
-            "new"; opt_cell np; "new"; opt_cell nr ]
+          [ c.p_name; Printf.sprintf "%.2f ms" (c.p_time /. 1e6); "new";
+            Printf.sprintf "%.0f" c.p_words; "new"; opt_cell c.p_peak; "new";
+            opt_cell c.p_rss; opt_cell2 c.p_ips; "new" ]
       end)
     curr;
   Fba_stdx.Table.print tbl;
@@ -449,11 +517,12 @@ let run_history ~json () =
     List.fold_left
       (fun acc (_, _, _, rows) ->
         List.fold_left
-          (fun acc (n, _, _, _, _) -> if List.mem n acc then acc else acc @ [ n ])
+          (fun acc r -> if List.mem r.p_name acc then acc else acc @ [ r.p_name ])
           acc rows)
       [] entries
   in
-  let lookup rows name = List.find_opt (fun (n, _, _, _, _) -> n = name) rows in
+  let lookup rows name = List.find_opt (fun r -> r.p_name = name) rows in
+  let opt_num = function Some v -> Printf.sprintf "%.0f" v | None -> "null" in
   if json then begin
     let b = Buffer.create 1024 in
     Buffer.add_string b "{\"bench_history_version\":1,\"revs\":[";
@@ -480,19 +549,24 @@ let run_history ~json () =
       (fun i name ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b (Printf.sprintf "{\"name\":%S," name);
-        (series "time_ns_per_run" (fun (_, t, _, _, _) -> Printf.sprintf "%.0f" t)) name;
+        (series "time_ns_per_run" (fun r -> Printf.sprintf "%.0f" r.p_time)) name;
         Buffer.add_char b ',';
-        (series "allocated_words_per_run" (fun (_, _, w, _, _) -> Printf.sprintf "%.0f" w)) name;
+        (series "allocated_words_per_run" (fun r -> Printf.sprintf "%.0f" r.p_words)) name;
         Buffer.add_char b ',';
-        (* Peak gauges are null before the revision that introduced
-           them — consumers see exactly when the field starts existing. *)
-        (series "peak_mailbox_words"
-           (fun (_, _, _, p, _) -> match p with Some v -> Printf.sprintf "%.0f" v | None -> "null"))
+        (* Optional gauges (peak words/rss, then the service metrics)
+           are null before the revision that introduced them —
+           consumers see exactly when each field starts existing. *)
+        (series "peak_mailbox_words" (fun r -> opt_num r.p_peak)) name;
+        Buffer.add_char b ',';
+        (series "peak_rss_kb" (fun r -> opt_num r.p_rss)) name;
+        Buffer.add_char b ',';
+        (series "instances_per_sec"
+           (fun r -> match r.p_ips with Some v -> Printf.sprintf "%.2f" v | None -> "null"))
           name;
         Buffer.add_char b ',';
-        (series "peak_rss_kb"
-           (fun (_, _, _, _, r) -> match r with Some v -> Printf.sprintf "%.0f" v | None -> "null"))
-          name;
+        (series "p50_instance_latency_ns" (fun r -> opt_num r.p_p50)) name;
+        Buffer.add_char b ',';
+        (series "p99_instance_latency_ns" (fun r -> opt_num r.p_p99)) name;
         Buffer.add_char b '}')
       target_names;
     Buffer.add_string b "]}";
@@ -528,10 +602,20 @@ let run_history ~json () =
       Fba_stdx.Table.print tbl;
       print_newline ()
     in
-    trajectory "time per run" (fun (_, t, _, _, _) -> Printf.sprintf "%.2f ms" (t /. 1e6));
-    trajectory "allocated words per run" (fun (_, _, w, _, _) -> Printf.sprintf "%.0f" w);
-    trajectory "peak mailbox words" (fun (_, _, _, p, _) ->
-        match p with Some v -> Printf.sprintf "%.0f" v | None -> "-")
+    trajectory "time per run" (fun r -> Printf.sprintf "%.2f ms" (r.p_time /. 1e6));
+    trajectory "allocated words per run" (fun r -> Printf.sprintf "%.0f" r.p_words);
+    trajectory "peak mailbox words" (fun r ->
+        match r.p_peak with Some v -> Printf.sprintf "%.0f" v | None -> "-");
+    (* Service throughput columns: only service/ targets carry them;
+       every other cell (and every pre-service revision) renders "-"
+       without warnings, like the peak columns above. *)
+    trajectory "instances per second" (fun r ->
+        match r.p_ips with Some v -> Printf.sprintf "%.1f" v | None -> "-");
+    trajectory "p50 / p99 instance latency" (fun r ->
+        match (r.p_p50, r.p_p99) with
+        | Some p50, Some p99 ->
+          Printf.sprintf "%.1f / %.1f ms" (p50 /. 1e6) (p99 /. 1e6)
+        | _ -> "-")
   end;
   exit 0
 
@@ -562,7 +646,136 @@ let measure_e2e ?(progress = stdout) (name, n, junk) =
   let rss = peak_rss_kb () in
   Printf.fprintf progress "%-28s %12.0f ns/run %14.0f words/run %12d peak-words  (1 run)\n%!"
     name ns words peak;
-  { r_name = name; r_time_ns = ns; r_words = words; r_runs = 1; r_peak_words = peak; r_rss_kb = rss }
+  { r_name = name; r_time_ns = ns; r_words = words; r_runs = 1; r_peak_words = peak;
+    r_rss_kb = rss; r_ips = None; r_p50_ns = None; r_p99_ns = None }
+
+(* --- service throughput: the instance-stream benchmark --- *)
+
+module Service = Fba_harness.Service
+
+(* Two rows per population size: a loop over fresh one-shot Runner
+   runs (the historical path — every instance reallocates its
+   scenario, quorum caches, compiled tables and mailbox) and the same
+   instances through the Service epoch-reset pipeline. Both execute
+   the identical per-instance seed schedule, so the throughput ratio
+   isolates the storage strategy; CI separately byte-diffs the
+   per-instance traces. *)
+let service_sizes = [ (128, 48); (1024, 6) ]
+
+let measure_service_pair ?(progress = stdout) ~jobs (n, instances) =
+  let stream_seed = 42L in
+  let adversary sc = Attacks.cornering sc in
+  let pct_ns h p =
+    match Fba_stdx.Histogram.percentile_opt h p with
+    | None -> 0.0
+    | Some us -> float_of_int us *. 1000.0
+  in
+  let hist = Fba_stdx.Histogram.create () in
+  Fba_sim.Batch.Peak.reset ();
+  reset_rss_hwm ();
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  for k = 0 to instances - 1 do
+    let ik = Unix.gettimeofday () in
+    let seed = Service.instance_seed stream_seed k in
+    let sc = Runner.scenario_of_setup Runner.default_setup ~n ~seed in
+    ignore (Runner.aer_sync ~adversary sc);
+    Fba_stdx.Histogram.add hist (max 0 (int_of_float ((Unix.gettimeofday () -. ik) *. 1e6)))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let oneshot =
+    {
+      r_name = Printf.sprintf "service/oneshot-n%d" n;
+      r_time_ns = dt /. float_of_int instances *. 1e9;
+      r_words = (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int instances;
+      r_runs = instances;
+      r_peak_words = Fba_sim.Batch.Peak.get ();
+      r_rss_kb = peak_rss_kb ();
+      r_ips = Some (float_of_int instances /. dt);
+      r_p50_ns = Some (pct_ns hist 50.0);
+      r_p99_ns = Some (pct_ns hist 99.0);
+    }
+  in
+  Printf.fprintf progress "%-28s %12.0f ns/inst %14.2f inst/s  (%d instances)\n%!"
+    oneshot.r_name oneshot.r_time_ns
+    (match oneshot.r_ips with Some v -> v | None -> 0.0)
+    instances;
+  Fba_sim.Batch.Peak.reset ();
+  reset_rss_hwm ();
+  (* Gc.allocated_bytes is domain-local; the recorded rows run jobs=1
+     so the figure covers every instance. *)
+  let a1 = Gc.allocated_bytes () in
+  let s =
+    Service.run
+      ~stream:{ Service.default_stream with Service.n; instances; stream_seed; width = 4; jobs }
+      ~adversary ()
+  in
+  let stream_row =
+    {
+      r_name = Printf.sprintf "service/stream-n%d" n;
+      r_time_ns = float_of_int s.Service.elapsed_ns /. float_of_int instances;
+      r_words = (Gc.allocated_bytes () -. a1) /. 8.0 /. float_of_int instances;
+      r_runs = instances;
+      r_peak_words = Fba_sim.Batch.Peak.get ();
+      r_rss_kb = peak_rss_kb ();
+      r_ips = Some s.Service.instances_per_sec;
+      r_p50_ns = Some (float_of_int s.Service.p50_instance_latency_ns);
+      r_p99_ns = Some (float_of_int s.Service.p99_instance_latency_ns);
+    }
+  in
+  Printf.fprintf progress "%-28s %12.0f ns/inst %14.2f inst/s  (%d instances)\n%!"
+    stream_row.r_name stream_row.r_time_ns s.Service.instances_per_sec instances;
+  [ oneshot; stream_row ]
+
+(* [bench service] re-records only its own rows: merge into the
+   current revision's BENCH file (written by this same harness, so
+   reconstruction is exact), keeping every non-service row. *)
+let merge_bench_rows rows =
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let kept =
+    if Sys.file_exists path then
+      List.filter
+        (fun p -> not (List.exists (fun r -> r.r_name = p.p_name) rows))
+        (parse_bench path)
+    else []
+  in
+  let of_prow p =
+    {
+      r_name = p.p_name;
+      r_time_ns = p.p_time;
+      r_words = p.p_words;
+      r_runs = p.p_runs;
+      r_peak_words = (match p.p_peak with Some v -> int_of_float v | None -> 0);
+      r_rss_kb = (match p.p_rss with Some v -> int_of_float v | None -> 0);
+      r_ips = p.p_ips;
+      r_p50_ns = p.p_p50;
+      r_p99_ns = p.p_p99;
+    }
+  in
+  write_bench_json ~path ~rev (List.map of_prow kept @ rows);
+  Printf.printf "\nwrote %s\n" path
+
+let run_service ~jobs () =
+  print_endline "## Agreement as a service: instance-stream throughput\n";
+  let rows = List.concat_map (fun sz -> measure_service_pair ~jobs sz) service_sizes in
+  print_newline ();
+  List.iter
+    (fun (n, _) ->
+      let find name = List.find_opt (fun r -> r.r_name = name) rows in
+      match
+        (find (Printf.sprintf "service/oneshot-n%d" n), find (Printf.sprintf "service/stream-n%d" n))
+      with
+      | Some o, Some s -> (
+        match (o.r_ips, s.r_ips, s.r_p50_ns, s.r_p99_ns) with
+        | Some oi, Some si, Some p50, Some p99 ->
+          Printf.printf
+            "n=%-5d stream %.2f inst/s vs one-shot %.2f inst/s (%.2fx); p50 %.1f ms, p99 %.1f ms\n"
+            n si oi (si /. oi) (p50 /. 1e6) (p99 /. 1e6)
+        | _ -> ())
+      | _ -> ())
+    service_sizes;
+  merge_bench_rows rows
 
 let run_perf_json () =
   (match Sys.getenv_opt "FBA_SKIP_CI" with
@@ -588,6 +801,10 @@ let run_perf_json () =
       perf_tests
   in
   let rows = rows @ List.map measure_e2e e2e_targets in
+  (* Instance-stream throughput rows, always single-domain here (like
+     every perf measurement) so numbers stay comparable across
+     revisions; [bench service --jobs N] explores the sharded lane. *)
+  let rows = rows @ List.concat_map (measure_service_pair ~jobs:1) service_sizes in
   let rev = git_rev () in
   let path = Printf.sprintf "BENCH_%s.json" rev in
   write_bench_json ~path ~rev rows;
@@ -655,9 +872,28 @@ let () =
     | None -> (
       match List.find_opt (fun (e, _, _) -> e = name) e2e_targets with
       | Some target -> finish (measure_e2e ~progress:stderr target)
-      | None ->
-        Printf.eprintf "unknown perf target %S\n" name;
-        exit 2))
+      | None -> (
+        (* service/ names measure the whole oneshot-vs-stream pair at
+           that population (the ratio is the point); [--record] writes
+           both rows so the compare gate covers each. *)
+        match
+          List.find_opt
+            (fun (n, _) ->
+              name = Printf.sprintf "service/stream-n%d" n
+              || name = Printf.sprintf "service/oneshot-n%d" n)
+            service_sizes
+        with
+        | Some sz ->
+          let rows = measure_service_pair ~progress:stderr ~jobs:1 sz in
+          (match record with
+          | Some path -> write_bench_json ~path ~rev:(git_rev ()) rows
+          | None -> ());
+          let r = List.find (fun r -> r.r_name = name) rows in
+          Printf.printf "%.0f\n" r.r_words;
+          exit 0
+        | None ->
+          Printf.eprintf "unknown perf target %S\n" name;
+          exit 2)))
   | [ "perf-target" ] ->
     prerr_endline "perf-target expects a target name";
     exit 2
@@ -667,6 +903,13 @@ let () =
       exit 2
     end;
     run_history ~json ()
+  | "service" :: rest ->
+    if rest <> [] then begin
+      prerr_endline "service usage: service [--jobs N]";
+      exit 2
+    end;
+    run_service ~jobs ();
+    exit 0
   | "perf" :: "--compare" :: rest ->
     let rec parse files tol metric = function
       | [] -> (List.rev files, tol, metric)

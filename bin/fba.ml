@@ -462,6 +462,106 @@ let profile_cmd =
       const run_profile $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ mode_arg
       $ top_arg $ profile_json_arg)
 
+(* --- fba service --- *)
+
+module Service = Fba_harness.Service
+
+let instances_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "instances" ] ~docv:"K" ~doc:"Number of BA instances to stream.")
+
+let width_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "width" ] ~docv:"W"
+        ~doc:
+          "Concurrently open instances per worker domain (pipeline width). Affects only the \
+           latency distribution, never per-instance results.")
+
+let check_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "check" ]
+        ~doc:
+          "Re-sum the latency histogram from the per-instance results and verify the sample \
+           count and p50/p99 against the summary; non-zero exit on mismatch.")
+
+let run_service n byz know seed attack instances width jobs check =
+  if jobs < 0 || instances < 0 || width < 1 then begin
+    Format.eprintf "service: need --jobs >= 0, --instances >= 0, --width >= 1@.";
+    2
+  end
+  else begin
+    let setup =
+      { Runner.default_setup with
+        Runner.byzantine_fraction = byz;
+        knowledgeable_fraction = know }
+    in
+    let adversary sc =
+      match attack with
+      | `Silent -> Attacks.silent sc
+      | `Flood -> Attacks.(compose sc [ push_flood sc; wrong_answer sc ])
+      | `Cornering -> Attacks.cornering sc
+      | `Capture -> Attacks.quorum_capture sc
+    in
+    let stream =
+      { Service.default_stream with
+        Service.setup;
+        n;
+        stream_seed = Int64.of_int seed;
+        instances;
+        width;
+        jobs }
+    in
+    let s = Service.run ~stream ~adversary () in
+    (* Deterministic per-instance trace to stdout (byte-identical for
+       every width/jobs value); wall-clock summary to stderr. *)
+    Service.pp_trace stdout s;
+    flush stdout;
+    Printf.eprintf "[service] n=%d instances=%d width=%d jobs=%d: %.2f inst/s, p50 %.3f ms, p99 %.3f ms\n%!"
+      n instances width jobs s.Service.instances_per_sec
+      (float_of_int s.Service.p50_instance_latency_ns /. 1e6)
+      (float_of_int s.Service.p99_instance_latency_ns /. 1e6);
+    if not check then 0
+    else begin
+      (* Independent re-summation, mirroring the accounting checks of
+         [fba trace] and [fba profile]: rebuild the µs-bucketed
+         histogram from the raw per-instance latencies and re-derive
+         what the summary reports. *)
+      let h = Fba_stdx.Histogram.create () in
+      Array.iter
+        (fun (r : Service.instance_result) ->
+          Fba_stdx.Histogram.add h (r.Service.latency_ns / 1000))
+        s.Service.results;
+      let pct p =
+        match Fba_stdx.Histogram.percentile_opt h p with None -> 0 | Some us -> us * 1000
+      in
+      let total = Fba_stdx.Histogram.total h in
+      if
+        total = s.Service.instances
+        && pct 50.0 = s.Service.p50_instance_latency_ns
+        && pct 99.0 = s.Service.p99_instance_latency_ns
+      then begin
+        Printf.eprintf
+          "[service] histogram check: %d samples, p50/p99 re-derivation matches the summary\n%!"
+          total;
+        0
+      end
+      else begin
+        Printf.eprintf
+          "[service] histogram MISMATCH: %d samples for %d instances, re-derived p50 %d / p99 \
+           %d vs summary %d / %d\n%!"
+          total s.Service.instances (pct 50.0) (pct 99.0) s.Service.p50_instance_latency_ns
+          s.Service.p99_instance_latency_ns;
+        1
+      end
+    end
+  end
+
 (* --- fba experiment --- *)
 
 module Experiment = Fba_harness.Experiment
@@ -513,9 +613,19 @@ let experiment_cmd =
   let doc = "Regenerate the paper's tables and lemma-level checks." in
   Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ exp_arg $ full_arg $ jobs_arg)
 
+let service_cmd =
+  let doc =
+    "Stream many BA instances through the epoch-reset agreement service: per-instance traces \
+     (deterministic, stdout) plus throughput and pipelined-latency percentiles (stderr)."
+  in
+  Cmd.v (Cmd.info "service" ~doc)
+    Term.(
+      const run_service $ n_arg $ byz_arg $ know_arg $ seed_arg $ attack_arg $ instances_arg
+      $ width_arg $ jobs_arg $ check_arg)
+
 let main_cmd =
   let doc = "Fast Byzantine Agreement (Braud-Santoni, Guerraoui, Huc; PODC 2013) — simulator" in
   Cmd.group (Cmd.info "fba" ~version:"1.0.0" ~doc)
-    [ run_aer_cmd; run_ba_cmd; trace_cmd; profile_cmd; experiment_cmd ]
+    [ run_aer_cmd; run_ba_cmd; trace_cmd; profile_cmd; experiment_cmd; service_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -16,13 +16,14 @@ type config = {
   events : Fba_sim.Events.sink option;  (* phase-marker sink, observation only *)
   compile : bool;  (* lower the scenario at run start (Compiled) *)
   mutable compiled : Compiled.t option;  (* built by [compile], at most once *)
+  builder : Compiled.builder option;  (* reusable compile scratch (instance streams) *)
 }
 
 (* FBA_NO_COMPILE flips the default off everywhere at once — the
    ci-level A/B switch that needs no per-experiment plumbing. *)
 let compile_default () = Sys.getenv_opt "FBA_NO_COMPILE" = None
 
-let config_of_scenario ?(strict_drop = false) ?events ?compile (scenario : Scenario.t) =
+let config_of_scenario ?(strict_drop = false) ?events ?compile ?builder (scenario : Scenario.t) =
   let params = scenario.Scenario.params in
   let layout = scenario.Scenario.layout in
   let intern = scenario.Scenario.intern in
@@ -42,6 +43,41 @@ let config_of_scenario ?(strict_drop = false) ?events ?compile (scenario : Scena
     events;
     compile = (match compile with Some b -> b | None -> compile_default ());
     compiled = None;
+    builder;
+  }
+
+(* Epoch reuse for instance streams: a config for [scenario] whose
+   quorum caches, push plan and compile scratch are the previous
+   epoch's, reset in place — so instance k+1 evaluates into storage
+   instance k already paid for. [scenario] must share the previous
+   scenario's interner value ({!Scenario.make}'s [?intern]); the
+   caches' resolver closures are rebound regardless. Behaviour is
+   identical to a fresh [config_of_scenario] on the same scenario. *)
+let config_epoch ~prev (scenario : Scenario.t) =
+  let params = scenario.Scenario.params in
+  let layout = scenario.Scenario.layout in
+  let intern = scenario.Scenario.intern in
+  let find s = Intern.find intern s in
+  let rid_bits = layout.Msg.Layout.rid_bits in
+  let si = Params.sampler_i params in
+  Cache.reset ~find prev.qi ~sampler:si;
+  Cache.reset ~find prev.qh ~sampler:(Params.sampler_h params);
+  Cache.reset ~find ~rid_bits prev.qj ~sampler:(Params.sampler_j params);
+  Push_plan.reset ~find prev.plan ~sampler:si;
+  {
+    params;
+    scenario;
+    layout;
+    intern;
+    qi = prev.qi;
+    qh = prev.qh;
+    qj = prev.qj;
+    plan = prev.plan;
+    strict_drop = prev.strict_drop;
+    events = prev.events;
+    compile = prev.compile;
+    compiled = None;
+    builder = (match prev.builder with Some _ as b -> b | None -> Some (Compiled.builder ()));
   }
 
 let config_params c = c.params
@@ -56,7 +92,7 @@ let config_compiled c = c.compiled
    lookup machinery changes. *)
 let compile cfg =
   if cfg.compile && cfg.compiled = None then
-    cfg.compiled <- Some (Compiled.build ~scenario:cfg.scenario ~qi:cfg.qi)
+    cfg.compiled <- Some (Compiled.build ?builder:cfg.builder ~scenario:cfg.scenario ~qi:cfg.qi ())
 
 (* Messages live on the packed plane: one immediate int each (Msg.Packed
    layout), with candidate strings and poll labels carried as interner

@@ -28,7 +28,12 @@
 type config
 
 val config_of_scenario :
-  ?strict_drop:bool -> ?events:Fba_sim.Events.sink -> ?compile:bool -> Scenario.t -> config
+  ?strict_drop:bool ->
+  ?events:Fba_sim.Events.sink ->
+  ?compile:bool ->
+  ?builder:Compiled.builder ->
+  Scenario.t ->
+  config
 (** Shared immutable setup (samplers, memoized quorums, initial
     candidate assignment). The same value must be used for every node
     of an execution — quorum caches inside are shared deliberately.
@@ -43,7 +48,17 @@ val config_of_scenario :
     set) lets the engines lower the scenario into flat dispatch tables
     ({!Compiled}) before the run; on or off, executions are
     byte-identical — the switch exists for the parity harness and
-    A/B measurements. *)
+    A/B measurements. [builder] supplies reusable compile scratch
+    ({!Compiled.builder}) for instance streams. *)
+
+val config_epoch : prev:config -> Scenario.t -> config
+(** Epoch reuse for instance streams ({!Fba_harness.Service}): a
+    config for [scenario] whose quorum caches, push plan and compile
+    scratch are [prev]'s, reset in place — instance k+1 evaluates into
+    storage instance k already paid for. [scenario] must share
+    [prev]'s interner value ({!Scenario.make}'s [?intern] round-trip).
+    Behaviour is identical to a fresh {!config_of_scenario}; [prev]
+    must no longer be used once the new config exists. *)
 
 val config_params : config -> Params.t
 val config_scenario : config -> Scenario.t

@@ -11,8 +11,8 @@ type t = {
   strings : string Vec.t;
   by_label : int I64_table.t;
   labels : int64 Vec.t;
-  string_cap : int;
-  label_cap : int;
+  mutable string_cap : int;
+  mutable label_cap : int;
 }
 
 let create ?(max_strings = max_strings) ?(max_labels = max_labels) () =
@@ -27,6 +27,18 @@ let create ?(max_strings = max_strings) ?(max_labels = max_labels) () =
 
 let string_cap t = t.string_cap
 let label_cap t = t.label_cap
+
+(* Epoch reset: forget every registration but keep the hash buckets
+   and vector storage warm, so the next run interns into memory this
+   one already paid for. Caps may be rebound when the next scenario
+   uses a different packed layout. *)
+let reset ?max_strings ?max_labels t =
+  Hashtbl.clear t.by_string;
+  Vec.clear t.strings;
+  I64_table.clear t.by_label;
+  Vec.clear t.labels;
+  (match max_strings with Some c -> t.string_cap <- c | None -> ());
+  (match max_labels with Some c -> t.label_cap <- c | None -> ())
 
 let string_count t = Vec.length t.strings
 let label_count t = Vec.length t.labels

@@ -30,6 +30,14 @@ val max_labels : int
 val string_cap : t -> int
 val label_cap : t -> int
 
+val reset : ?max_strings:int -> ?max_labels:int -> t -> unit
+(** Epoch reset: forget every registered string and label while
+    keeping the underlying tables' storage warm, so a long-lived
+    instance stream ({!Fba_harness.Service}) re-interns into memory
+    the previous instance already paid for. Ids restart at 0; caps are
+    rebound when the optional arguments are given (a stream switching
+    packed layouts) and kept otherwise. *)
+
 val intern : t -> string -> int
 (** Id of the string, registering it first if unseen. Raises [Failure]
     beyond {!string_cap} distinct strings. *)

@@ -36,6 +36,7 @@ val make :
   ?junk:junk ->
   ?gstring:string ->
   ?layout:Msg.Layout.choice ->
+  ?intern:Intern.t ->
   params:Params.t ->
   rng:Prng.t ->
   byzantine_fraction:float ->
@@ -53,7 +54,11 @@ val make :
     [junk] defaults to {!Junk_unique}. [layout] defaults to
     {!Msg.Layout.Auto} — the narrow fast path whenever it fits — unless
     the [FBA_WIDE] environment variable is set (non-empty, not "0"),
-    which flips the default to {!Msg.Layout.Wide} for A/B parity runs. *)
+    which flips the default to {!Msg.Layout.Wide} for A/B parity runs.
+    [intern] hands back a previous run's interner for epoch reuse: it
+    is {!Intern.reset} to the new layout's caps and re-seeded in
+    place, so the scenario's id assignment is identical to a fresh
+    interner's while its table storage stays warm. *)
 
 val of_assignment :
   ?layout:Msg.Layout.choice ->

@@ -30,7 +30,7 @@ let default_setup =
     layout = Msg.Layout.Auto;
   }
 
-let scenario_of_setup setup ~n ~seed =
+let scenario_of_setup ?intern setup ~n ~seed =
   let params =
     match setup.d_override with
     | Some (d_i, d_h, d_j) ->
@@ -43,7 +43,7 @@ let scenario_of_setup setup ~n ~seed =
         ~knowledgeable_fraction:setup.knowledgeable_fraction ()
   in
   let rng = Prng.create (Hash64.finish (Hash64.add_string (Hash64.init seed) "workload")) in
-  Scenario.make ~junk:setup.junk ~layout:setup.layout ~params ~rng
+  Scenario.make ?intern ~junk:setup.junk ~layout:setup.layout ~params ~rng
     ~byzantine_fraction:setup.byzantine_fraction
     ~knowledgeable_fraction:setup.knowledgeable_fraction ()
 

@@ -6,13 +6,13 @@ open Fba_stdx
 let unset : int array = [||]
 
 type t = {
-  sampler : Sampler.t;
+  mutable sampler : Sampler.t;
   (* Optional string -> interned-id resolver (non-registering). When
      present, the dense sid-indexed rows below are the primary store
      and the string table only holds strings the interner has never
      seen (adversary probing); without it, the string table is primary
      and [by_sid] mirrors it, as before the interned-id port. *)
-  find : (string -> int) option;
+  mutable find : (string -> int) option;
   (* I/H-shaped quorums for strings outside the interner (or all
      strings when [find] is absent): one dense row of per-x slots per
      string. A lookup is a string-hash plus an array index. *)
@@ -23,7 +23,7 @@ type t = {
      the ~10^4 labels of a run (p < 1e-11), far below the sampler
      failure probabilities the simulator is already accepting. *)
   xr : int array I64_table.t;
-  salt : int64 array;
+  mutable salt : int64 array;
   (* Optional flat J-quorum store filled by [precompute_xr]: quorum i
      occupies [flat_xr.(i*d .. i*d + d - 1)]; [xr_off] maps keys to i.
      Membership tests and iteration read the slab in place. *)
@@ -46,7 +46,7 @@ type t = {
   (* Width of the packed rid field: the fallback table's (x, rid) keys
      are [x lsl rid_bits lor rid], so the shift must clear the run's
      label-id range (Msg.Layout.rid_bits; 20 = the narrow default). *)
-  rid_bits : int;
+  mutable rid_bits : int;
 }
 
 let no_row : int array array = [||]
@@ -69,6 +69,30 @@ let create ?find ?(rid_bits = 20) sampler =
   }
 
 let sampler t = t.sampler
+
+(* Epoch reset: rebind to the next instance's sampler and drop every
+   memoized quorum while keeping the tables' storage warm. The dense
+   rows are refilled with their physical sentinels, so nothing a stale
+   row held can be mistaken for a fresh evaluation. *)
+let reset ?find ?rid_bits t ~sampler =
+  t.sampler <- sampler;
+  (match find with Some _ -> t.find <- find | None -> ());
+  (match rid_bits with Some b -> t.rid_bits <- b | None -> ());
+  let n = Sampler.n sampler in
+  if Array.length t.salt <> n then
+    t.salt <- Array.init n (fun x -> Sampler.key_xr sampler ~x ~r:0L)
+  else
+    for x = 0 to n - 1 do
+      t.salt.(x) <- Sampler.key_xr sampler ~x ~r:0L
+    done;
+  Hashtbl.clear t.sx;
+  I64_table.clear t.xr;
+  t.flat_count <- 0;
+  I64_table.clear t.xr_off;
+  Array.fill t.by_sid 0 (Array.length t.by_sid) no_row;
+  Array.fill t.rid_x 0 (Array.length t.rid_x) (-1);
+  Array.fill t.rid_rows 0 (Array.length t.rid_rows) unset;
+  Hashtbl.clear t.xr_rid
 
 let key_xr t ~x ~r = Int64.logxor t.salt.(x) r
 

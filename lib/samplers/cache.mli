@@ -31,6 +31,15 @@ val create : ?find:(string -> int) -> ?rid_bits:int -> Sampler.t -> t
 
 val sampler : t -> Sampler.t
 
+val reset : ?find:(string -> int) -> ?rid_bits:int -> t -> sampler:Sampler.t -> unit
+(** Epoch reset for instance streams ({!Fba_harness.Service}): rebind
+    the cache to [sampler] (the next instance's draw seed), forget
+    every memoized quorum, and keep all table storage warm. [find] and
+    [rid_bits] are rebound when given, kept otherwise (the common case:
+    a stream over a fixed population reuses its interner in place, so
+    the old resolver closure stays valid). After a reset the cache
+    answers exactly as a fresh [create] over the same sampler would. *)
+
 val quorum_sx : t -> s:string -> x:int -> int array
 (** Cached {!Sampler.quorum_sx}. The returned array is shared; callers
     must not mutate it. *)

@@ -5,8 +5,8 @@ type entry = { inverse : int array array; load : int array }
 let no_entry = { inverse = [||]; load = [||] }
 
 type t = {
-  sampler : Sampler.t;
-  find : (string -> int) option;
+  mutable sampler : Sampler.t;
+  mutable find : (string -> int) option;
   memo : (string, entry) Hashtbl.t;  (* strings outside the interner *)
   mutable by_sid : entry array;  (* interned strings: sid -> entry *)
   mutable sid_count : int;
@@ -17,6 +17,16 @@ let create ?find ~sampler () =
   { sampler; find; memo = Hashtbl.create 17; by_sid = [||]; sid_count = 0; scratch = [||] }
 
 let sampler t = t.sampler
+
+(* Epoch reset: rebind to the next instance's sampler and forget every
+   memoized inverse map, keeping the dense slot array and the n*d
+   scratch slab warm. *)
+let reset ?find t ~sampler =
+  t.sampler <- sampler;
+  (match find with Some _ -> t.find <- find | None -> ());
+  Hashtbl.clear t.memo;
+  Array.fill t.by_sid 0 (Array.length t.by_sid) no_entry;
+  t.sid_count <- 0
 
 (* Flat two-pass build: draw all n quorums once into the shared
    scratch slab (allocation-free draws), count per-node loads, then

@@ -24,6 +24,13 @@ val create : ?find:(string -> int) -> sampler:Sampler.t -> unit -> t
 
 val sampler : t -> Sampler.t
 
+val reset : ?find:(string -> int) -> t -> sampler:Sampler.t -> unit
+(** Epoch reset for instance streams: rebind the plan to [sampler],
+    forget every memoized inverse map, keep the dense slot array and
+    the scratch slab warm. [find] is rebound when given, kept
+    otherwise. Afterwards the plan answers exactly as a fresh
+    [create] over the same sampler would. *)
+
 val targets : t -> s:string -> y:int -> int array
 (** [targets t ~s ~y] is [{ x | y ∈ I(s, x) }] — the nodes [y] must
     push [s] to. Memoized per [s]. *)

@@ -205,6 +205,24 @@ module Mailbox = struct
     | Buffered (b, _) -> not (Batch.is_empty b.in_flight)
     | Streamed s -> not (Batch.Chain.is_empty s.staged)
 
+  (* Epoch reset for instance streams: empty every lane in place. On
+     the streamed plane the chains recycle their segments back into the
+     arena free list, so the next run's bursts refill storage this one
+     already created; on the buffered plane the lanes keep their
+     capacity. Peak accounting is deliberately not reset — the arena
+     high-water is a property of the stream, not of one instance. *)
+  let reset = function
+    | Buffered (b, due) ->
+      Batch.clear b.correct_out;
+      Batch.clear b.in_flight;
+      Batch.clear b.deliveries;
+      Batch.clear b.prev_correct;
+      due := 0
+    | Streamed s ->
+      Batch.Chain.clear s.correct;
+      Batch.Chain.clear s.staged;
+      Batch.Chain.clear s.prev
+
   (* Peak footprint of the delivery plane, in words: arena high-water
      on the streamed plane, retained lane capacities on the buffered
      one (lanes never shrink, so current capacity is the high-water). *)
@@ -278,6 +296,15 @@ module Calendar = struct
   let pending t = t.pending
 
   let consumed t k = t.pending <- t.pending - k
+
+  (* Epoch reset: empty every bucket in place (streamed buckets recycle
+     their segments into the shared arena). Peak accounting survives,
+     as with {!Mailbox.reset}. *)
+  let reset t =
+    (match t.buckets with
+    | Bbuf b -> Array.iter Batch.clear b
+    | Bstream (_, b) -> Array.iter Batch.Chain.clear b);
+    t.pending <- 0
 
   let peak_words t =
     match t.buckets with

@@ -127,6 +127,12 @@ module Mailbox : sig
   val pending_any : 'msg t -> bool
   (** Is anything staged for the next round (the quiescence check)? *)
 
+  val reset : 'msg t -> unit
+  (** Epoch reset for instance streams: empty every lane in place —
+      streamed chains recycle their segments into the arena free list,
+      buffered lanes keep their capacity. Peak accounting survives (the
+      arena high-water belongs to the stream, not one instance). *)
+
   val peak_words : 'msg t -> int
   (** Peak delivery-plane footprint of the run so far, in words. *)
 end
@@ -157,6 +163,10 @@ module Calendar : sig
 
   val consumed : 'msg t -> int -> unit
   (** Deduct [k] drained messages from [pending]. *)
+
+  val reset : 'msg t -> unit
+  (** Epoch reset: empty every bucket in place (streamed buckets
+      recycle their segments); peak accounting survives. *)
 
   val peak_words : 'msg t -> int
   (** Peak calendar footprint of the run so far, in words. *)

@@ -46,14 +46,29 @@ module Make (P : Protocol.S) = struct
   let validate_adversary_envelope ~n ~corrupted e =
     Engine_core.validate_adversary_envelope ~who:"Sync_engine" ~n ~corrupted e
 
-  let run ?(quiet_limit = 3) ?stream ?events ?prof ?(net = Net.Reliable)
+  (* An in-flight run, advanced one round at a time. [step] executes
+     one iteration of the historical round loop (false once the loop
+     condition fails); [finish] is its epilogue. [run] below is
+     literally start-step*-finish, so a stepped run is the same
+     execution — the stepper exists so an instance stream
+     ({!Fba_harness.Service}) can keep several runs concurrently open
+     and interleave their rounds. *)
+  type running = { r_step : unit -> bool; r_finish : unit -> result }
+
+  let start ?(quiet_limit = 3) ?stream ?mailbox ?events ?prof ?(net = Net.Reliable)
       ~(config : P.config) ~n ~seed ~(adversary : adversary) ~(mode : mode) ~max_rounds ()
       =
     if quiet_limit < 1 then invalid_arg "Sync_engine.run: quiet_limit < 1";
     let corrupted = adversary.corrupted in
     let core = Core.create ?events ?prof ~net ~config ~n ~seed ~corrupted () in
     Core.prof_start core;
-    let mb : P.msg Engine_core.Mailbox.t = Engine_core.Mailbox.create ?stream ~n () in
+    let mb : P.msg Engine_core.Mailbox.t =
+      match mailbox with
+      | Some mb ->
+        Engine_core.Mailbox.reset mb;
+        mb
+      | None -> Engine_core.Mailbox.create ?stream ~n ()
+    in
     let send src dst msg =
       if dst < 0 || dst >= n then invalid_arg "Sync_engine: destination out of range";
       Engine_core.Mailbox.push_correct mb ~src ~dst msg
@@ -119,54 +134,76 @@ module Make (P : Protocol.S) = struct
        raise it. *)
     let quiet = ref 0 in
     let last_active = ref 0 in
-    (* Main loop: rounds 1 .. max_rounds. *)
+    (* Main loop: rounds 1 .. max_rounds, one iteration per [step]. *)
     let continue = ref (core.undecided > 0 || Engine_core.Mailbox.pending_any mb) in
-    while !continue && !round < max_rounds do
-      incr round;
-      let r = !round in
-      cur_round := r;
-      Core.trace_round_start core ~round:r;
-      Core.prof_round core ~round:r;
-      (* Clock hook. *)
-      for id = 0 to n - 1 do
-        match core.states.(id) with
-        | None -> ()
-        | Some st ->
-          cur_node := id;
-          List.iter send_pair (P.on_round config st ~round:r)
-      done;
-      (* Deliver last round's messages. On the buffered plane [stage]
-         swaps the staged mailbox into a separate delivery buffer; on
-         the streamed plane the drain recycles each segment as its last
-         message is handled, so [send]'s pushes refill the storage the
-         deliveries just vacated. *)
-      Engine_core.Mailbox.stage mb;
-      let delivered_any = Engine_core.Mailbox.staged_any mb in
-      Engine_core.Mailbox.drain mb ~f:(fun ~src ~dst msg ->
-          Core.deliver core ~round:r ~src ~dst msg ~handle);
-      Core.check_decisions core ~round:r;
-      prev_correct := commit_round ~round:r;
-      if (not delivered_any) && not (Engine_core.Mailbox.pending_any mb) then incr quiet
+    let step () =
+      if not (!continue && !round < max_rounds) then false
       else begin
-        quiet := 0;
-        last_active := r
-      end;
-      continue :=
-        (core.undecided > 0 || Engine_core.Mailbox.pending_any mb || !prev_correct > 0)
-        && !quiet < quiet_limit
+        incr round;
+        let r = !round in
+        cur_round := r;
+        Core.trace_round_start core ~round:r;
+        Core.prof_round core ~round:r;
+        (* Clock hook. *)
+        for id = 0 to n - 1 do
+          match core.states.(id) with
+          | None -> ()
+          | Some st ->
+            cur_node := id;
+            List.iter send_pair (P.on_round config st ~round:r)
+        done;
+        (* Deliver last round's messages. On the buffered plane [stage]
+           swaps the staged mailbox into a separate delivery buffer; on
+           the streamed plane the drain recycles each segment as its last
+           message is handled, so [send]'s pushes refill the storage the
+           deliveries just vacated. *)
+        Engine_core.Mailbox.stage mb;
+        let delivered_any = Engine_core.Mailbox.staged_any mb in
+        Engine_core.Mailbox.drain mb ~f:(fun ~src ~dst msg ->
+            Core.deliver core ~round:r ~src ~dst msg ~handle);
+        Core.check_decisions core ~round:r;
+        prev_correct := commit_round ~round:r;
+        if (not delivered_any) && not (Engine_core.Mailbox.pending_any mb) then incr quiet
+        else begin
+          quiet := 0;
+          last_active := r
+        end;
+        continue :=
+          (core.undecided > 0 || Engine_core.Mailbox.pending_any mb || !prev_correct > 0)
+          && !quiet < quiet_limit;
+        true
+      end
+    in
+    let finish () =
+      let rounds_used = if !quiet > 0 then !last_active else !round in
+      Core.prof_stop core;
+      Metrics.set_rounds core.metrics rounds_used;
+      let peak = Engine_core.Mailbox.peak_words mb in
+      Metrics.set_peak_mailbox_words core.metrics peak;
+      Batch.Peak.note peak;
+      (match prof with None -> () | Some p -> Prof.note_peak_mailbox_words p peak);
+      {
+        metrics = core.metrics;
+        outputs = core.outputs;
+        states = core.states;
+        all_decided = core.undecided = 0;
+        rounds_used;
+      }
+    in
+    { r_step = step; r_finish = finish }
+
+  let step r = r.r_step ()
+
+  let finish r = r.r_finish ()
+
+  let run ?quiet_limit ?stream ?events ?prof ?net ~(config : P.config) ~n ~seed
+      ~(adversary : adversary) ~(mode : mode) ~max_rounds () =
+    let r =
+      start ?quiet_limit ?stream ?events ?prof ?net ~config ~n ~seed ~adversary ~mode
+        ~max_rounds ()
+    in
+    while r.r_step () do
+      ()
     done;
-    let rounds_used = if !quiet > 0 then !last_active else !round in
-    Core.prof_stop core;
-    Metrics.set_rounds core.metrics rounds_used;
-    let peak = Engine_core.Mailbox.peak_words mb in
-    Metrics.set_peak_mailbox_words core.metrics peak;
-    Batch.Peak.note peak;
-    (match prof with None -> () | Some p -> Prof.note_peak_mailbox_words p peak);
-    {
-      metrics = core.metrics;
-      outputs = core.outputs;
-      states = core.states;
-      all_decided = core.undecided = 0;
-      rounds_used;
-    }
+    r.r_finish ()
 end

@@ -40,6 +40,42 @@ module Make (P : Protocol.S) : sig
   (** Alias of {!Engine_core.validate_adversary_envelope} with this
       engine's error prefix. *)
 
+  type running
+  (** An in-flight run, advanced one round per {!step}. *)
+
+  val start :
+    ?quiet_limit:int ->
+    ?stream:bool ->
+    ?mailbox:P.msg Engine_core.Mailbox.t ->
+    ?events:Events.sink ->
+    ?prof:Prof.t ->
+    ?net:Net.spec ->
+    config:P.config ->
+    n:int ->
+    seed:int64 ->
+    adversary:adversary ->
+    mode:mode ->
+    max_rounds:int ->
+    unit ->
+    running
+  (** Open a run: same parameters and semantics as {!run}, which is
+      literally [start] + [step] until false + [finish] — a stepped run
+      is the same execution, round for round. The stepper exists so an
+      instance stream ({!Fba_harness.Service}) can keep several runs
+      concurrently open and interleave their rounds. [mailbox] hands
+      in a previous run's delivery storage for epoch reuse; it is
+      {!Engine_core.Mailbox.reset} in place (its shape then overrides
+      [stream]). *)
+
+  val step : running -> bool
+  (** Execute one round; [false] once the run's loop condition has
+      failed (nothing left in flight, quiescence, or the round cap) —
+      at which point only {!finish} remains. *)
+
+  val finish : running -> result
+  (** The run epilogue: close metrics and return the result. Call once,
+      after {!step} returns false. *)
+
   val run :
     ?quiet_limit:int ->
     ?stream:bool ->

@@ -3,8 +3,17 @@ type 'a outcome =
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
 
-let recommended_jobs ?(cap = 8) () =
-  max 1 (min cap (Domain.recommended_domain_count ()))
+let recommended_jobs ?cap () =
+  let base =
+    match Sys.getenv_opt "FBA_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  let base = match cap with Some c -> min c base | None -> base in
+  max 1 base
 
 let unwrap results =
   (* Lowest-index failure wins, whatever order the workers hit them. *)

@@ -22,9 +22,11 @@
     tasks are discarded in that case. *)
 
 val recommended_jobs : ?cap:int -> unit -> int
-(** [Domain.recommended_domain_count ()] clamped to [1 .. cap]
-    (default cap 8 — sweep cells are memory-heavy enough that more
-    domains mostly contend on the allocator). *)
+(** Default worker count: the [FBA_JOBS] environment variable when set
+    to a positive integer, otherwise [Domain.recommended_domain_count
+    ()]; clamped to [>= 1], and to [<= cap] when [cap] is given. There
+    is no built-in ceiling — machines with more cores get more
+    domains unless the caller or the environment says otherwise. *)
 
 val run : jobs:int -> (int -> 'a) -> int -> 'a array
 (** [run ~jobs f len] is [[| f 0; ...; f (len-1) |]], computed on

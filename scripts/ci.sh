@@ -190,6 +190,23 @@ else
   exit 1
 fi
 
+# Agreement-service smoke: the instance stream's per-instance traces
+# (stdout: seeds, fingerprints, rounds, decisions) must be
+# byte-identical whether the stream runs on one domain or sharded —
+# the second run also exercises the FBA_JOBS override (--jobs 0 =
+# auto, forced to 2 workers by the environment). --check re-derives
+# the latency histogram from the raw per-instance latencies and exits
+# non-zero if the sample count or p50/p99 disagree with the summary.
+dune exec bin/fba.exe -- service -n 64 --instances 12 --width 3 --jobs 1 --check > "$seq_out"
+FBA_JOBS=2 dune exec bin/fba.exe -- service -n 64 --instances 12 --width 3 --jobs 0 --check > "$par_out"
+if cmp -s "$seq_out" "$par_out"; then
+  echo "service jobs smoke ok: FBA_JOBS=2 traces identical to --jobs 1"
+else
+  echo "service smoke FAILED: sharded instance traces differ from sequential" >&2
+  diff "$seq_out" "$par_out" >&2 || true
+  exit 1
+fi
+
 # Perf gate: the cornering perf target must stay close to the most
 # recent recorded BENCH_<rev>.json baseline. Two checks share one
 # measurement (perf-target --record writes it as a one-target
@@ -250,6 +267,20 @@ else:
 EOF
   else
     echo "python3 not found; skipping allocation gate" >&2
+  fi
+  # Throughput gate: the service instance-stream rows ride the same
+  # wall-time compare machinery — time per instance is inverse
+  # throughput, so a --metric time regression IS a throughput
+  # regression. Baselines recorded before the service existed skip it.
+  if grep -q '"service/stream-n128"' "$baseline"; then
+    svc="$(mktemp)"
+    trap 'rm -f "$jsonl" "$telemetry" "$history" "$seq_out" "$par_out" "$current" "$svc"' EXIT
+    dune exec bench/main.exe -- perf-target service/stream-n128 --record "$svc" > /dev/null
+    dune exec bench/main.exe -- perf --compare "$baseline" "$svc" \
+      --tol "${FBA_PERF_TIME_TOL:-10}" --metric time
+    echo "service throughput gate ok: stream-n128 time/instance within tolerance"
+  else
+    echo "baseline predates service rows; skipping throughput gate" >&2
   fi
 else
   echo "no recorded BENCH_<rev>.json baseline; skipping perf gates" >&2

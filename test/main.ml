@@ -20,4 +20,5 @@ let () =
          Test_net.suites;
          Test_prof.suites;
          Test_streamed.suites;
+         Test_service.suites;
        ])

@@ -116,7 +116,7 @@ let scenario ~n ~seed = Runner.scenario_of_setup Runner.default_setup ~n ~seed
 let compiled_of sc =
   let find s = Intern.find sc.Scenario.intern s in
   let qi = Cache.create ~find (Params.sampler_i sc.Scenario.params) in
-  let cp = Compiled.build ~scenario:sc ~qi in
+  let cp = Compiled.build ~scenario:sc ~qi () in
   (qi, cp)
 
 (* --- Position oracles --- *)

@@ -65,7 +65,7 @@ let test_map_list () =
 
 let test_recommended_jobs_bounds () =
   let j = Pool.recommended_jobs () in
-  Alcotest.(check bool) "within 1..8" true (j >= 1 && j <= 8);
+  Alcotest.(check bool) "at least 1" true (j >= 1);
   Alcotest.(check int) "cap respected" 1 (Pool.recommended_jobs ~cap:1 ())
 
 let suites =

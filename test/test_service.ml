@@ -1,0 +1,241 @@
+(* Agreement-as-a-service: the instance stream must be a pure storage
+   optimisation.
+
+   - qcheck property: every instance of an epoch-reset stream is
+     trace-fingerprint-identical to a fresh one-shot Runner run of the
+     same derived seed — across pipeline widths, worker-domain counts,
+     the buffered delivery plane (config.stream = false, the
+     FBA_NO_STREAM shape) and narrow vs wide packed layouts.
+   - unit suite for the reset entry points themselves: no stale
+     interner ids, sampler rows or mailbox/calendar contents survive
+     an epoch boundary. *)
+
+module Runner = Fba_harness.Runner
+module Service = Fba_harness.Service
+module Attacks = Fba_adversary.Aer_attacks
+module Engine_core = Fba_sim.Engine_core
+open Fba_core
+open Fba_stdx
+
+(* --- qcheck: stream vs one-shot fingerprint identity --- *)
+
+let one_shot_fp ~config ~setup ~n ~seed =
+  let sc = Runner.scenario_of_setup setup ~n ~seed in
+  Service.fingerprint (Runner.aer_sync ~config ~adversary:Attacks.cornering sc).Runner.metrics
+
+let case_gen =
+  QCheck2.Gen.(
+    let* n = oneofl [ 32; 48; 64 ] in
+    let* instances = int_range 2 6 in
+    let* width = oneofl [ 1; 2; 4 ] in
+    let* jobs = oneofl [ 1; 2; 4 ] in
+    let* stream_plane = bool in
+    let* wide = bool in
+    let* seed = int_range 1 10_000 in
+    return (n, instances, width, jobs, stream_plane, wide, seed))
+
+let prop_stream_matches_oneshot =
+  QCheck2.Test.make ~count:6 ~name:"service.stream = fresh one-shot runs" case_gen
+    (fun (n, instances, width, jobs, stream_plane, wide, seed) ->
+      let setup =
+        if wide then { Runner.default_setup with Runner.layout = Msg.Layout.Wide }
+        else Runner.default_setup
+      in
+      let config = { Runner.default_config with Runner.stream = stream_plane } in
+      let stream =
+        { Service.setup;
+          config;
+          n;
+          stream_seed = Int64.of_int seed;
+          instances;
+          width;
+          jobs }
+      in
+      let s = Service.run ~stream ~adversary:Attacks.cornering () in
+      Array.length s.Service.results = instances
+      && Array.for_all
+           (fun (r : Service.instance_result) ->
+             Int64.equal r.Service.fingerprint
+               (one_shot_fp ~config ~setup ~n ~seed:r.Service.seed))
+           s.Service.results)
+
+(* Latency aside, a stream's deterministic face must not depend on how
+   it was scheduled: same instances, any width/jobs split. *)
+let strip (s : Service.summary) =
+  Array.map
+    (fun (r : Service.instance_result) ->
+      (r.Service.index, r.Service.seed, r.Service.fingerprint, r.Service.rounds_used,
+       r.Service.decided, r.Service.agreed))
+    s.Service.results
+
+let prop_schedule_invariance =
+  QCheck2.Test.make ~count:4 ~name:"service.results independent of width and jobs"
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* instances = int_range 3 7 in
+      return (seed, instances))
+    (fun (seed, instances) ->
+      let stream w j =
+        { Service.default_stream with
+          Service.n = 48;
+          stream_seed = Int64.of_int seed;
+          instances;
+          width = w;
+          jobs = j }
+      in
+      let base = strip (Service.run ~stream:(stream 1 1) ~adversary:Attacks.cornering ()) in
+      List.for_all
+        (fun (w, j) ->
+          strip (Service.run ~stream:(stream w j) ~adversary:Attacks.cornering ()) = base)
+        [ (3, 1); (2, 2); (4, 4) ])
+
+(* --- unit: reset entry points --- *)
+
+(* Intern.reset must forget everything (no stale ids served) and
+   reassign the same ids as a fresh interner on replay. *)
+let test_intern_reset () =
+  let it = Intern.create () in
+  let id_a = Intern.intern it "alpha" in
+  let _ = Intern.intern it "beta" in
+  let lab = Intern.intern_label it 77L in
+  Alcotest.(check int) "two strings registered" 2 (Intern.string_count it);
+  Intern.reset it;
+  Alcotest.(check int) "strings forgotten" 0 (Intern.string_count it);
+  Alcotest.(check int) "labels forgotten" 0 (Intern.label_count it);
+  Alcotest.(check int) "no stale string id" (-1) (Intern.find it "alpha");
+  let id_b = Intern.intern it "beta" in
+  Alcotest.(check int) "ids restart at 0" id_a id_b;
+  let lab2 = Intern.intern_label it 78L in
+  Alcotest.(check int) "label ids restart at 0" lab lab2
+
+(* Cache.reset onto a different sampler must answer exactly like a
+   fresh cache over that sampler — stale rows from the first epoch
+   must not leak into quorum answers. *)
+let test_cache_reset () =
+  let s1 = Fba_samplers.Sampler.create ~seed:3L ~n:64 ~d:8 in
+  let s2 = Fba_samplers.Sampler.create ~seed:9L ~n:64 ~d:8 in
+  let reused = Fba_samplers.Cache.create s1 in
+  for x = 0 to 15 do
+    ignore (Fba_samplers.Cache.quorum_sx reused ~s:"epoch-one" ~x);
+    ignore (Fba_samplers.Cache.quorum_xr reused ~x ~r:(Int64.of_int x))
+  done;
+  Fba_samplers.Cache.reset reused ~sampler:s2;
+  let fresh = Fba_samplers.Cache.create s2 in
+  for x = 0 to 15 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "quorum_sx x=%d" x)
+      (Fba_samplers.Cache.quorum_sx fresh ~s:"epoch-two" ~x)
+      (Fba_samplers.Cache.quorum_sx reused ~s:"epoch-two" ~x);
+    Alcotest.(check (array int))
+      (Printf.sprintf "quorum_xr x=%d" x)
+      (Fba_samplers.Cache.quorum_xr fresh ~x ~r:(Int64.of_int (1000 + x)))
+      (Fba_samplers.Cache.quorum_xr reused ~x ~r:(Int64.of_int (1000 + x)))
+  done
+
+(* Aer.config_epoch chains the whole per-run state (interner, quorum
+   caches, push plan, compile scratch) through a reset; the second
+   epoch must produce the exact execution a fresh config produces. *)
+let test_config_epoch () =
+  let n = 48 in
+  let seed_a = 11L and seed_b = 12L in
+  let sc_a = Runner.scenario_of_setup Runner.default_setup ~n ~seed:seed_a in
+  let cfg_a = Aer.config_of_scenario sc_a in
+  let module E = Fba_sim.Sync_engine.Make (Aer) in
+  let quiet_limit sc =
+    if Params.(sc.Scenario.params.max_poll_attempts) > 1 then
+      Params.(sc.Scenario.params.repoll_timeout) + 2
+    else 3
+  in
+  let run cfg (sc : Scenario.t) =
+    Service.fingerprint
+      (E.run ~quiet_limit:(quiet_limit sc) ~config:cfg ~n
+         ~seed:sc.Scenario.params.Params.seed ~adversary:(Attacks.cornering sc)
+         ~mode:`Rushing ~max_rounds:300 ())
+        .Fba_sim.Sync_engine.metrics
+  in
+  ignore (run cfg_a sc_a);
+  let sc_b =
+    Runner.scenario_of_setup ~intern:sc_a.Scenario.intern Runner.default_setup ~n ~seed:seed_b
+  in
+  let cfg_b = Aer.config_epoch ~prev:cfg_a sc_b in
+  let fp_epoch = run cfg_b sc_b in
+  let sc_fresh = Runner.scenario_of_setup Runner.default_setup ~n ~seed:seed_b in
+  let fp_fresh = run (Aer.config_of_scenario sc_fresh) sc_fresh in
+  Alcotest.(check int64) "epoch-reset config replays the fresh execution" fp_fresh fp_epoch
+
+(* Mailbox/Calendar reset: nothing staged, pending or deliverable may
+   survive the epoch boundary, on either delivery-plane shape. *)
+let test_mailbox_reset () =
+  List.iter
+    (fun stream ->
+      let mb : int Engine_core.Mailbox.t = Engine_core.Mailbox.create ~stream ~n:8 () in
+      Engine_core.Mailbox.push_correct mb ~src:0 ~dst:1 42;
+      Engine_core.Mailbox.begin_commit mb;
+      Engine_core.Mailbox.push_staged mb ~src:2 ~dst:3 7;
+      Engine_core.Mailbox.commit mb ~keep_prev:true;
+      Engine_core.Mailbox.push_correct mb ~src:1 ~dst:2 43;
+      Engine_core.Mailbox.reset mb;
+      Alcotest.(check bool)
+        (Printf.sprintf "stream=%b nothing pending" stream)
+        false
+        (Engine_core.Mailbox.pending_any mb);
+      Alcotest.(check int)
+        (Printf.sprintf "stream=%b no correct sends" stream)
+        0
+        (Engine_core.Mailbox.correct_length mb);
+      Engine_core.Mailbox.stage mb;
+      Alcotest.(check bool)
+        (Printf.sprintf "stream=%b nothing staged" stream)
+        false
+        (Engine_core.Mailbox.staged_any mb);
+      let delivered = ref 0 in
+      Engine_core.Mailbox.drain mb ~f:(fun ~src:_ ~dst:_ _ -> incr delivered);
+      Alcotest.(check int) (Printf.sprintf "stream=%b nothing delivered" stream) 0 !delivered)
+    [ true; false ]
+
+let test_calendar_reset () =
+  List.iter
+    (fun stream ->
+      let cal : int Engine_core.Calendar.t =
+        Engine_core.Calendar.create ~stream ~n:8 ~max_delay:4 ()
+      in
+      Engine_core.Calendar.schedule cal ~at:2 ~src:0 ~dst:1 5;
+      Engine_core.Calendar.schedule cal ~at:3 ~src:1 ~dst:2 6;
+      Engine_core.Calendar.reset cal;
+      Alcotest.(check int)
+        (Printf.sprintf "stream=%b nothing pending" stream)
+        0 (Engine_core.Calendar.pending cal);
+      for t = 0 to 4 do
+        Alcotest.(check int)
+          (Printf.sprintf "stream=%b bucket %d empty" stream t)
+          0
+          (Engine_core.Calendar.due_count cal ~time:t)
+      done)
+    [ true; false ]
+
+(* The FBA_JOBS override behind Pool.recommended_jobs, exercised the
+   way the service resolves jobs=0. *)
+let test_fba_jobs_override () =
+  let before = Sys.getenv_opt "FBA_JOBS" in
+  Unix.putenv "FBA_JOBS" "3";
+  let got = Pool.recommended_jobs () in
+  (match before with Some v -> Unix.putenv "FBA_JOBS" v | None -> Unix.putenv "FBA_JOBS" "");
+  Alcotest.(check int) "FBA_JOBS=3 overrides the domain count" 3 got
+
+let suites =
+  [
+    ( "service.stream",
+      [
+        QCheck_alcotest.to_alcotest prop_stream_matches_oneshot;
+        QCheck_alcotest.to_alcotest prop_schedule_invariance;
+      ] );
+    ( "service.reset",
+      [
+        Alcotest.test_case "intern reset" `Quick test_intern_reset;
+        Alcotest.test_case "cache reset" `Quick test_cache_reset;
+        Alcotest.test_case "config epoch parity" `Quick test_config_epoch;
+        Alcotest.test_case "mailbox reset" `Quick test_mailbox_reset;
+        Alcotest.test_case "calendar reset" `Quick test_calendar_reset;
+        Alcotest.test_case "FBA_JOBS override" `Quick test_fba_jobs_override;
+      ] );
+  ]
